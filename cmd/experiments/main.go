@@ -1,0 +1,109 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 8) on synthetic dataset stand-ins.
+//
+// Examples:
+//
+//	experiments -exp all
+//	experiments -exp table4 -scale 1 -budget 1073741824
+//	experiments -exp fig2 -queries 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	exp := flag.String("exp", "all", "experiment(s): all | table1 | table2 | table3 | table4 | fig1 | fig2 | ablation | sensitivity (comma-separated)")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = laptop scale)")
+	queries := flag.Int("queries", 20, "query vertices per dataset")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	budget := flag.Int64("budget", 1<<30, "comparator memory budget in bytes (stand-in for testbed RAM)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	csvDir := flag.String("csv", "", "also write raw results as CSV files into this directory")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:        *scale,
+		Queries:      *queries,
+		Seed:         *seed,
+		MemoryBudget: *budget,
+		Workers:      *workers,
+	}
+
+	saveCSV := func(name string, write func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := *csvDir + "/" + name
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	run := map[string]func(){
+		"table1": func() { bench.Table1(os.Stdout, cfg) },
+		"table2": func() { bench.Table2(os.Stdout, cfg) },
+		"table3": func() {
+			rows := bench.Table3(os.Stdout, cfg)
+			saveCSV("table3.csv", func(f *os.File) error { return bench.WriteTable3CSV(f, rows) })
+		},
+		"table4": func() {
+			rows := bench.Table4(os.Stdout, cfg)
+			saveCSV("table4.csv", func(f *os.File) error { return bench.WriteTable4CSV(f, rows) })
+		},
+		"fig1": func() {
+			res := bench.Figure1(os.Stdout, cfg)
+			saveCSV("fig1.csv", func(f *os.File) error { return bench.WriteFig1CSV(f, res) })
+		},
+		"fig2": func() {
+			res := bench.Figure2(os.Stdout, cfg)
+			saveCSV("fig2.csv", func(f *os.File) error { return bench.WriteFig2CSV(f, res) })
+		},
+		"ablation":    func() { bench.Ablation(os.Stdout, cfg) },
+		"sensitivity": func() { bench.Sensitivity(os.Stdout, cfg) },
+	}
+	order := []string{"table1", "table2", "fig1", "fig2", "table3", "table4", "ablation", "sensitivity"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := run[name]; !ok {
+				log.Fatalf("unknown experiment %q (choose from %s)", name, strings.Join(order, ", "))
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	fmt.Printf("Scalable Similarity Search for SimRank — experiment reproduction\n")
+	fmt.Printf("scale=%.2f queries=%d seed=%d budget=%d\n", *scale, *queries, *seed, *budget)
+	for _, name := range selected {
+		start := time.Now()
+		run[name]()
+		fmt.Printf("\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBuildGraphByKind(t *testing.T) {
+	g, err := buildGraph("", 1, "copying", 100, 0, 4, 0.3, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("n = %d", g.N())
+	}
+}
+
+func TestBuildGraphByDataset(t *testing.T) {
+	g, err := buildGraph("ca-grqc-sim", 0.05, "", 0, 0, 0, 0, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 {
+		t.Fatal("empty dataset graph")
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := buildGraph("", 1, "", 0, 0, 0, 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("expected error without kind or dataset")
+	}
+	if _, err := buildGraph("nope", 1, "", 0, 0, 0, 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if _, err := buildGraph("", 1, "bogus", 10, 0, 0, 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestWriteGraphFormats(t *testing.T) {
+	g, err := buildGraph("", 1, "er", 30, 90, 0, 0, 0, 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	text := filepath.Join(dir, "g.txt")
+	if err := writeGraph(g, text, "text"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.LoadEdgeListFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatal("text round trip lost edges")
+	}
+
+	bin := filepath.Join(dir, "g.bin")
+	if err := writeGraph(g, bin, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g3, err := graph.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.M() != g.M() {
+		t.Fatal("binary round trip lost edges")
+	}
+
+	if err := writeGraph(g, filepath.Join(dir, "g.x"), "xml"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}

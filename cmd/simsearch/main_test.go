@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	simrank "repro"
+)
+
+func replIndex(t *testing.T) *simrank.Index {
+	t.Helper()
+	gb := simrank.NewGraphBuilder(6)
+	for _, src := range []int{1, 2, 3} {
+		if err := gb.AddEdge(src, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := gb.AddEdge(src, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return simrank.BuildIndex(gb.Build(), simrank.DefaultOptions())
+}
+
+func TestReplTopKAndPair(t *testing.T) {
+	idx := replIndex(t)
+	in := strings.NewReader("4\n4 5\n")
+	var out bytes.Buffer
+	repl(idx, 3, in, &out)
+	s := out.String()
+	if !strings.Contains(s, "s(4,5) =") {
+		t.Fatalf("missing pair output: %q", s)
+	}
+	if !strings.Contains(s, "#1") {
+		t.Fatalf("missing top-k output: %q", s)
+	}
+}
+
+func TestReplBadInput(t *testing.T) {
+	idx := replIndex(t)
+	in := strings.NewReader("abc\n1 x\n1 2 3\n99\n\n")
+	var out bytes.Buffer
+	repl(idx, 3, in, &out)
+	s := out.String()
+	if !strings.Contains(s, "bad vertex") {
+		t.Fatalf("missing bad-vertex message: %q", s)
+	}
+	if !strings.Contains(s, "bad pair") {
+		t.Fatalf("missing bad-pair message: %q", s)
+	}
+	if !strings.Contains(s, "one or two vertex IDs") {
+		t.Fatalf("missing arity message: %q", s)
+	}
+	if !strings.Contains(s, "out of range") {
+		t.Fatalf("missing range error: %q", s)
+	}
+}

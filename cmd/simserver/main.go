@@ -1,0 +1,96 @@
+// Command simserver serves top-k SimRank similarity search over HTTP.
+//
+// Example:
+//
+//	gengraph -kind copying -n 100000 -k 8 -o web.txt
+//	simserver -graph web.txt -addr :8080
+//	curl 'localhost:8080/topk?u=42&k=20'
+//	curl 'localhost:8080/pair?u=42&v=99'
+//	curl 'localhost:8080/similar?u=42&theta=0.05'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	simrank "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simserver: ")
+
+	graphPath := flag.String("graph", "", "edge-list file (required)")
+	indexPath := flag.String("load-index", "", "optional pre-built index file (see simsearch -save-index)")
+	addr := flag.String("addr", ":8080", "listen address")
+	c := flag.Float64("c", 0.6, "decay factor")
+	theta := flag.Float64("theta", 0.01, "score threshold")
+	seed := flag.Uint64("seed", 1, "Monte-Carlo seed")
+	flag.Parse()
+
+	if *graphPath == "" {
+		log.Fatal("-graph is required")
+	}
+	g, err := simrank.LoadEdgeListFile(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("graph: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+
+	opts := simrank.DefaultOptions()
+	opts.DecayFactor = *c
+	opts.Threshold = *theta
+	opts.Seed = *seed
+
+	var idx *simrank.Index
+	start := time.Now()
+	if *indexPath != "" {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err = simrank.LoadIndex(g, opts, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded index in %v", time.Since(start).Round(time.Millisecond))
+	} else {
+		idx = simrank.BuildIndex(g, opts)
+		log.Printf("preprocess in %v (%d KB)", time.Since(start).Round(time.Millisecond),
+			idx.Stats().IndexBytes/1024)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(idx),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println()
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+}

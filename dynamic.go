@@ -1,0 +1,97 @@
+package simrank
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// SaveIndex writes the index's preprocess results (the γ table and the
+// candidate index) so a later session can skip the preprocess with
+// LoadIndex.
+func (ix *Index) SaveIndex(w io.Writer) error {
+	return ix.e.SaveIndex(w)
+}
+
+// LoadIndex restores preprocess results saved by SaveIndex over the same
+// graph with compatible options (equal T and decay factor; mismatches are
+// rejected).
+func LoadIndex(g *Graph, opts Options, r io.Reader) (*Index, error) {
+	e, err := core.LoadIndex(g.g, opts.toParams(), r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{g: g, e: e}, nil
+}
+
+// DynamicIndex is a similarity-search index over a mutable edge set.
+// Updates are buffered and applied incrementally on the next query: only
+// vertices whose random-walk behaviour could have changed are
+// re-preprocessed. Safe for use from one goroutine at a time per method
+// call group; concurrent queries interleaved with updates serialize on an
+// internal lock.
+type DynamicIndex struct {
+	d *core.DynamicEngine
+}
+
+// NewDynamicIndex returns an empty dynamic index over n vertices.
+func NewDynamicIndex(n int, opts Options) *DynamicIndex {
+	return &DynamicIndex{d: core.NewDynamic(n, opts.toParams())}
+}
+
+// NewDynamicIndexFrom seeds the dynamic index with an existing graph.
+func NewDynamicIndexFrom(g *Graph, opts Options) *DynamicIndex {
+	return &DynamicIndex{d: core.NewDynamicFrom(g.g, opts.toParams())}
+}
+
+// AddEdge inserts the directed edge (u, v).
+func (dx *DynamicIndex) AddEdge(u, v int) error {
+	return dx.d.AddEdge(uint32(u), uint32(v))
+}
+
+// RemoveEdge deletes the directed edge (u, v).
+func (dx *DynamicIndex) RemoveEdge(u, v int) error {
+	return dx.d.RemoveEdge(uint32(u), uint32(v))
+}
+
+// NumVertices returns the vertex count.
+func (dx *DynamicIndex) NumVertices() int { return dx.d.N() }
+
+// NumEdges returns the current edge count, including buffered updates.
+func (dx *DynamicIndex) NumEdges() int { return dx.d.M() }
+
+// PendingUpdates reports how many vertices have unapplied in-link
+// changes.
+func (dx *DynamicIndex) PendingUpdates() int { return dx.d.Pending() }
+
+// Refresh applies buffered updates now instead of on the next query.
+func (dx *DynamicIndex) Refresh() error { return dx.d.Refresh() }
+
+// TopK returns the k vertices most similar to u, applying pending
+// updates first.
+func (dx *DynamicIndex) TopK(u, k int) ([]Result, error) {
+	if u < 0 || u >= dx.d.N() {
+		return nil, errVertexRange(u, dx.d.N())
+	}
+	res, err := dx.d.TopK(uint32(u), k)
+	if err != nil {
+		return nil, err
+	}
+	return toResults(res), nil
+}
+
+// SinglePair estimates the SimRank score between u and v, applying
+// pending updates first.
+func (dx *DynamicIndex) SinglePair(u, v int) (float64, error) {
+	n := dx.d.N()
+	if u < 0 || u >= n {
+		return 0, errVertexRange(u, n)
+	}
+	if v < 0 || v >= n {
+		return 0, errVertexRange(v, n)
+	}
+	if u == v {
+		return 1, nil
+	}
+	return dx.d.SinglePair(uint32(u), uint32(v))
+}

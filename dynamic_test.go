@@ -1,0 +1,120 @@
+package simrank
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadIndexPublicAPI(t *testing.T) {
+	g := GenerateWebGraph(500, 4, 0.3, 7)
+	opts := DefaultOptions()
+	idx := BuildIndex(g, opts)
+
+	var buf bytes.Buffer
+	if err := idx.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := LoadIndex(g, opts, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		a, err := idx.TopK(u, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := idx2.TopK(u, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("u=%d: lengths differ", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("u=%d: %v vs %v", u, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadIndexWrongGraph(t *testing.T) {
+	g := GenerateWebGraph(500, 4, 0.3, 7)
+	idx := BuildIndex(g, DefaultOptions())
+	var buf bytes.Buffer
+	if err := idx.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := GenerateWebGraph(501, 4, 0.3, 7)
+	if _, err := LoadIndex(other, DefaultOptions(), &buf); err == nil {
+		t.Fatal("expected error for mismatched graph")
+	}
+}
+
+func TestDynamicIndexLifecycle(t *testing.T) {
+	dx := NewDynamicIndex(6, DefaultOptions())
+	for _, src := range []int{1, 2, 3} {
+		if err := dx.AddEdge(src, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := dx.AddEdge(src, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dx.NumVertices() != 6 || dx.NumEdges() != 6 {
+		t.Fatalf("n=%d m=%d", dx.NumVertices(), dx.NumEdges())
+	}
+	if dx.PendingUpdates() == 0 {
+		t.Fatal("updates should be pending before first query")
+	}
+	top, err := dx.TopK(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 || top[0].Node != 5 {
+		t.Fatalf("TopK(4) = %v", top)
+	}
+	if dx.PendingUpdates() != 0 {
+		t.Fatal("query should have flushed updates")
+	}
+
+	// Self similarity and symmetric positivity.
+	s, err := dx.SinglePair(4, 4)
+	if err != nil || s != 1 {
+		t.Fatalf("self similarity %v err %v", s, err)
+	}
+	s45, err := dx.SinglePair(4, 5)
+	if err != nil || s45 <= 0 {
+		t.Fatalf("s(4,5) = %v err %v", s45, err)
+	}
+}
+
+func TestDynamicIndexFromGraph(t *testing.T) {
+	g := GenerateCollaborationGraph(50, 4, 0.8, 3)
+	dx := NewDynamicIndexFrom(g, DefaultOptions())
+	if dx.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d vs %d", dx.NumEdges(), g.NumEdges())
+	}
+	if err := dx.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dx.TopK(0, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicIndexErrors(t *testing.T) {
+	dx := NewDynamicIndex(3, DefaultOptions())
+	if _, err := dx.TopK(5, 2); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := dx.SinglePair(-1, 0); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := dx.SinglePair(0, 9); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := dx.AddEdge(0, 9); err == nil {
+		t.Fatal("expected range error")
+	}
+}

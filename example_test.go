@@ -1,0 +1,78 @@
+package simrank_test
+
+import (
+	"fmt"
+
+	simrank "repro"
+)
+
+// Two products (3 and 4) bought by the same three customers come out
+// highly similar; a product with a disjoint audience does not.
+func Example() {
+	gb := simrank.NewGraphBuilder(6)
+	for _, customer := range []int{0, 1, 2} {
+		gb.AddEdge(customer, 3)
+		gb.AddEdge(customer, 4)
+	}
+	gb.AddEdge(0, 5)
+	g := gb.Build()
+
+	idx := simrank.BuildIndex(g, simrank.DefaultOptions())
+	top, err := idx.TopK(3, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("most similar to product 3: product", top[0].Node)
+	// Output: most similar to product 3: product 4
+}
+
+// ExactTopK ranks deterministically, which is handy in tests and on
+// small graphs.
+func ExampleExactTopK() {
+	g, err := simrank.FromEdges(5, [][2]int{
+		{0, 3}, {1, 3}, {0, 4}, {1, 4}, {2, 0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	top, err := simrank.ExactTopK(g, simrank.DefaultOptions(), 3, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("vertex %d (score %.4f)\n", top[0].Node, top[0].Score)
+	// Output: vertex 4 (score 0.1560)
+}
+
+// SimilarityJoin finds all pairs above a score threshold.
+func ExampleIndex_SimilarityJoin() {
+	// Two disjoint pairs of co-cited pages.
+	g, err := simrank.FromEdges(8, [][2]int{
+		{0, 4}, {1, 4}, {0, 5}, {1, 5}, // pages 4,5 share in-links {0,1}
+		{2, 6}, {3, 6}, {2, 7}, {3, 7}, // pages 6,7 share in-links {2,3}
+	})
+	if err != nil {
+		panic(err)
+	}
+	idx := simrank.BuildIndex(g, simrank.DefaultOptions())
+	for _, p := range idx.SimilarityJoin(0.05, 10) {
+		fmt.Printf("%d ~ %d\n", p.U, p.V)
+	}
+	// Output:
+	// 4 ~ 5
+	// 6 ~ 7
+}
+
+// A DynamicIndex absorbs edge updates between queries.
+func ExampleDynamicIndex() {
+	dx := simrank.NewDynamicIndex(5, simrank.DefaultOptions())
+	dx.AddEdge(0, 3)
+	dx.AddEdge(1, 3)
+	dx.AddEdge(0, 4)
+	dx.AddEdge(1, 4)
+	top, err := dx.TopK(3, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("similar to 3:", top[0].Node)
+	// Output: similar to 3: 4
+}

@@ -1,0 +1,68 @@
+// Command citations runs related-paper search over a synthetic citation
+// network, the workload that motivated SimRank in the original Jeh &
+// Widom paper: two papers are similar when they are cited by similar
+// papers.
+//
+// Run with:
+//
+//	go run ./examples/citations -papers 5000 -query 4200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	simrank "repro"
+)
+
+func main() {
+	papers := flag.Int("papers", 5000, "number of papers in the synthetic corpus")
+	refs := flag.Int("refs", 6, "references per paper")
+	query := flag.Int("query", -1, "paper to query (default: a recent, well-cited one)")
+	k := flag.Int("k", 10, "number of related papers to return")
+	seed := flag.Uint64("seed", 42, "generator and search seed")
+	flag.Parse()
+
+	g := simrank.GenerateCitationGraph(*papers, *refs, *seed)
+	fmt.Printf("citation corpus: %d papers, %d citation edges\n",
+		g.NumVertices(), g.NumEdges())
+
+	opts := simrank.DefaultOptions()
+	opts.Seed = *seed
+	start := time.Now()
+	idx := simrank.BuildIndex(g, opts)
+	fmt.Printf("index built in %v (%d bytes)\n", time.Since(start).Round(time.Millisecond), idx.Stats().IndexBytes)
+
+	q := *query
+	if q < 0 {
+		// Pick a mid-age paper with several citations so the
+		// neighbourhood is interesting.
+		best, bestDeg := 0, -1
+		for v := *papers / 2; v < *papers; v++ {
+			if d := g.InDegree(v); d > bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		q = best
+	}
+	fmt.Printf("\nquery: paper #%d (cited %d times, cites %d papers)\n",
+		q, g.InDegree(q), g.OutDegree(q))
+
+	start = time.Now()
+	related, err := idx.TopK(q, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("related papers (query took %v):\n", elapsed.Round(time.Microsecond))
+	for rank, r := range related {
+		fmt.Printf("  #%-2d paper %-6d score %.4f  (cited %d times)\n",
+			rank+1, r.Node, r.Score, g.InDegree(r.Node))
+	}
+	if len(related) == 0 {
+		fmt.Println("  (no papers above the similarity threshold)")
+	}
+}

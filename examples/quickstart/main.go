@@ -1,0 +1,63 @@
+// Command quickstart demonstrates the minimal simrank workflow: build a
+// small graph, index it, and ask for the most similar vertices.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	simrank "repro"
+)
+
+func main() {
+	// A tiny "web": pages 0-2 are hubs that link to both page 3 and
+	// page 4, so 3 and 4 should come out highly similar. Page 5 is
+	// linked only from page 0.
+	gb := simrank.NewGraphBuilder(6)
+	for _, e := range [][2]int{
+		{0, 3}, {1, 3}, {2, 3},
+		{0, 4}, {1, 4}, {2, 4},
+		{0, 5},
+		{3, 0}, {4, 1}, // a couple of back links
+	} {
+		if err := gb.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := gb.Build()
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// Build the index (the O(n) preprocess) and query.
+	idx := simrank.BuildIndex(g, simrank.DefaultOptions())
+	fmt.Printf("preprocess: %v, index %d bytes\n",
+		idx.Stats().PreprocessTime.Round(0), idx.Stats().IndexBytes)
+
+	top, err := idx.TopK(3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmost similar to vertex 3:")
+	for rank, r := range top {
+		fmt.Printf("  #%d vertex %d  score %.4f\n", rank+1, r.Node, r.Score)
+	}
+
+	s, err := idx.SinglePair(3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsingle-pair estimate s(3,4) = %.4f\n", s)
+
+	// Cross-check against the deterministic series.
+	exactTop, err := simrank.ExactTopK(g, simrank.DefaultOptions(), 3, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexact (deterministic series) ranking for vertex 3:")
+	for rank, r := range exactTop {
+		fmt.Printf("  #%d vertex %d  score %.4f\n", rank+1, r.Node, r.Score)
+	}
+}

@@ -1,0 +1,200 @@
+// Package batch runs the all-vertices top-k similarity search (the
+// "top-k for all" mode of Table 1) as a restartable, shardable job and
+// streams results to a TSV writer.
+//
+// The paper notes the query phase is distributed-computing friendly: with
+// M machines the O(n²)-worst-case all-pairs search drops to O(n²/M).
+// A Job with Shard i of M processes exactly the vertices v ≡ i (mod M),
+// which is how the computation is split across machines or processes; the
+// shard outputs are simply concatenated.
+//
+// Output format, one line per vertex (tab-separated):
+//
+//	vertex <TAB> neighbour:score <TAB> neighbour:score ...
+//
+// Vertices with no results above the threshold still emit a line, so a
+// resumed job can tell completed vertices from unprocessed ones.
+package batch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Job describes one all-pairs run (or one shard of it).
+type Job struct {
+	Engine *core.Engine
+	K      int
+	// Shard / NumShards select the vertex subset v ≡ Shard (mod
+	// NumShards). NumShards 0 or 1 means the whole graph.
+	Shard     int
+	NumShards int
+	// Done lists vertices already present in a previous partial output;
+	// they are skipped (see ScanCompleted).
+	Done map[uint32]bool
+	// Progress, when non-nil, receives the number of processed vertices
+	// at coarse intervals.
+	Progress func(done, total int)
+}
+
+// Run executes the job, writing one line per processed vertex to w.
+// Results are written in ascending vertex order regardless of the
+// parallel execution order, so output files are deterministic.
+func Run(job Job, w io.Writer) (processed int, err error) {
+	if job.Engine == nil {
+		return 0, fmt.Errorf("batch: nil engine")
+	}
+	if job.K <= 0 {
+		return 0, fmt.Errorf("batch: k must be positive, got %d", job.K)
+	}
+	if job.NumShards > 1 && (job.Shard < 0 || job.Shard >= job.NumShards) {
+		return 0, fmt.Errorf("batch: shard %d out of range [0, %d)", job.Shard, job.NumShards)
+	}
+	n := job.Engine.Graph().N()
+	var todo []uint32
+	for v := 0; v < n; v++ {
+		if job.NumShards > 1 && v%job.NumShards != job.Shard {
+			continue
+		}
+		if job.Done[uint32(v)] {
+			continue
+		}
+		todo = append(todo, uint32(v))
+	}
+
+	results := make(map[uint32][]core.Scored, len(todo))
+	var mu sync.Mutex
+	count := 0
+	job.Engine.AllTopKFunc(job.K, func(u uint32, res []core.Scored) {
+		// AllTopKFunc visits every vertex; filter to this job's set.
+		if job.NumShards > 1 && int(u)%job.NumShards != job.Shard {
+			return
+		}
+		if job.Done[u] {
+			return
+		}
+		mu.Lock()
+		results[u] = res
+		count++
+		if job.Progress != nil && count%1024 == 0 {
+			job.Progress(count, len(todo))
+		}
+		mu.Unlock()
+	})
+	if job.Progress != nil {
+		job.Progress(count, len(todo))
+	}
+
+	bw := bufio.NewWriter(w)
+	order := make([]uint32, 0, len(results))
+	for u := range results {
+		order = append(order, u)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, u := range order {
+		if err := writeLine(bw, u, results[u]); err != nil {
+			return processed, err
+		}
+		processed++
+	}
+	return processed, bw.Flush()
+}
+
+func writeLine(w *bufio.Writer, u uint32, res []core.Scored) error {
+	if _, err := fmt.Fprintf(w, "%d", u); err != nil {
+		return err
+	}
+	for _, s := range res {
+		if _, err := fmt.Fprintf(w, "\t%d:%.6f", s.V, s.Score); err != nil {
+			return err
+		}
+	}
+	return w.WriteByte('\n')
+}
+
+// ScanCompleted reads a previous (possibly truncated) output file and
+// returns the set of vertices it already covers, enabling resume. Only
+// newline-terminated lines count: the torn final line of a crashed run
+// lacks its terminator (and could otherwise still parse, e.g. a score cut
+// mid-digits). Unparseable terminated lines are also skipped.
+func ScanCompleted(r io.Reader) (map[uint32]bool, error) {
+	done := make(map[uint32]bool)
+	br := bufio.NewReader(r)
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			// line holds a fragment with no terminator: torn, skip.
+			return done, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("batch: scanning previous output: %w", err)
+		}
+		line = strings.TrimSuffix(line, "\n")
+		if line == "" {
+			continue
+		}
+		head, rest, _ := strings.Cut(line, "\t")
+		v, err := strconv.ParseUint(head, 10, 32)
+		if err != nil {
+			continue // foreign line
+		}
+		if rest != "" && !validEntries(rest) {
+			continue
+		}
+		done[uint32(v)] = true
+	}
+}
+
+// validEntries reports whether every tab-separated field parses as
+// "vertex:score".
+func validEntries(rest string) bool {
+	for _, f := range strings.Split(rest, "\t") {
+		v, s, ok := strings.Cut(f, ":")
+		if !ok {
+			return false
+		}
+		if _, err := strconv.ParseUint(v, 10, 32); err != nil {
+			return false
+		}
+		if _, err := strconv.ParseFloat(s, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseLine decodes one output line back into (vertex, results); used by
+// consumers of batch output and by the tests.
+func ParseLine(line string) (uint32, []core.Scored, error) {
+	head, rest, _ := strings.Cut(line, "\t")
+	u64, err := strconv.ParseUint(head, 10, 32)
+	if err != nil {
+		return 0, nil, fmt.Errorf("batch: bad vertex in %q: %w", line, err)
+	}
+	var res []core.Scored
+	if rest != "" {
+		for _, f := range strings.Split(rest, "\t") {
+			vs, ss, ok := strings.Cut(f, ":")
+			if !ok {
+				return 0, nil, fmt.Errorf("batch: bad entry %q", f)
+			}
+			v, err := strconv.ParseUint(vs, 10, 32)
+			if err != nil {
+				return 0, nil, fmt.Errorf("batch: bad entry vertex %q: %w", vs, err)
+			}
+			s, err := strconv.ParseFloat(ss, 64)
+			if err != nil {
+				return 0, nil, fmt.Errorf("batch: bad entry score %q: %w", ss, err)
+			}
+			res = append(res, core.Scored{V: uint32(v), Score: s})
+		}
+	}
+	return uint32(u64), res, nil
+}

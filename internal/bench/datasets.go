@@ -1,0 +1,127 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 8) on synthetic stand-ins for
+// the original datasets, and prints rows in the paper's format.
+//
+// The real datasets (SNAP / LAW / MPI, Table 2) are not available offline;
+// each stand-in matches the structural class of its namesake — clustered
+// collaboration graphs, heavy-tailed social networks, copying-model web
+// graphs, citation DAGs — at laptop-scaled sizes. See DESIGN.md §3 for the
+// substitution rationale.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Dataset describes one synthetic stand-in and the paper dataset it
+// replaces.
+type Dataset struct {
+	// Name of the stand-in (paper name + "-sim").
+	Name string
+	// PaperName, PaperN, PaperM echo Table 2 of the paper.
+	PaperName string
+	PaperN    int
+	PaperM    int
+	// Class is the structural family: "collab", "social", "web",
+	// "citation", "internet".
+	Class string
+	// Spec generates the stand-in.
+	Spec graph.GenSpec
+}
+
+// Build generates the stand-in graph.
+func (d Dataset) Build() (*graph.Graph, error) {
+	return graph.Generate(d.Spec)
+}
+
+// MustBuild generates the stand-in graph and panics on error (specs in
+// the catalog are statically valid).
+func (d Dataset) MustBuild() *graph.Graph {
+	g, err := d.Build()
+	if err != nil {
+		panic(fmt.Sprintf("bench: dataset %s: %v", d.Name, err))
+	}
+	return g
+}
+
+// scaleN scales a vertex count, keeping a sane minimum.
+func scaleN(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 50 {
+		v = 50
+	}
+	return v
+}
+
+// Catalog returns the dataset stand-ins mirroring Table 2, ordered by
+// size. scale multiplies the baseline vertex counts (1.0 ≈ a laptop-scale
+// sweep that finishes in minutes; the originals are 10–1000x larger).
+func Catalog(scale float64) []Dataset {
+	if scale <= 0 {
+		scale = 1
+	}
+	return []Dataset{
+		{
+			Name: "ca-grqc-sim", PaperName: "ca-GrQc", PaperN: 5242, PaperM: 14496, Class: "collab",
+			Spec: graph.GenSpec{Kind: "collab", N: scaleN(1800, scale), K: 4, P: 0.85, Seed: 101},
+		},
+		{
+			Name: "as2000-sim", PaperName: "as20000102", PaperN: 6474, PaperM: 13233, Class: "internet",
+			Spec: graph.GenSpec{Kind: "ba", N: scaleN(6500, scale), K: 2, P: 0.9, Seed: 102},
+		},
+		{
+			Name: "wiki-vote-sim", PaperName: "Wiki-Vote", PaperN: 7115, PaperM: 103689, Class: "social",
+			Spec: graph.GenSpec{Kind: "ba", N: scaleN(7000, scale), K: 14, P: 0.1, Seed: 103},
+		},
+		{
+			Name: "ca-hepth-sim", PaperName: "ca-HepTh", PaperN: 9877, PaperM: 25998, Class: "collab",
+			Spec: graph.GenSpec{Kind: "collab", N: scaleN(3300, scale), K: 4, P: 0.85, Seed: 104},
+		},
+		{
+			Name: "cora-sim", PaperName: "Cora-direct", PaperN: 225026, PaperM: 714266, Class: "citation",
+			Spec: graph.GenSpec{Kind: "citation", N: scaleN(22000, scale), K: 3, Seed: 105},
+		},
+		{
+			Name: "web-stanford-sim", PaperName: "web-Stanford", PaperN: 281903, PaperM: 2312497, Class: "web",
+			Spec: graph.GenSpec{Kind: "copying", N: scaleN(28000, scale), K: 8, P: 0.3, Seed: 106},
+		},
+		{
+			Name: "web-berkstan-sim", PaperName: "web-BerkStan", PaperN: 685230, PaperM: 7600595, Class: "web",
+			Spec: graph.GenSpec{Kind: "copying", N: scaleN(68000, scale), K: 11, P: 0.3, Seed: 107},
+		},
+		{
+			Name: "soc-livejournal-sim", PaperName: "soc-LiveJournal1", PaperN: 4847571, PaperM: 68993773, Class: "social",
+			Spec: graph.GenSpec{Kind: "ba", N: scaleN(100000, scale), K: 14, P: 0.6, Seed: 108},
+		},
+		{
+			Name: "web-it-sim", PaperName: "it-2004", PaperN: 41291549, PaperM: 1150725436, Class: "web",
+			Spec: graph.GenSpec{Kind: "copying", N: scaleN(300000, scale), K: 20, P: 0.3, Seed: 109},
+		},
+	}
+}
+
+// SmallCatalog returns the four small graphs used by the accuracy
+// experiment (Table 3).
+func SmallCatalog(scale float64) []Dataset {
+	all := Catalog(scale)
+	pick := map[string]bool{"ca-grqc-sim": true, "as2000-sim": true, "wiki-vote-sim": true, "ca-hepth-sim": true}
+	var out []Dataset
+	for _, d := range all {
+		if pick[d.Name] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByName returns the named dataset from the scaled catalog.
+func ByName(name string, scale float64) (Dataset, error) {
+	for _, d := range Catalog(scale) {
+		if d.Name == name || d.PaperName == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("bench: unknown dataset %q", name)
+}

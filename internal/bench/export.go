@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export of experiment results, so the figures can be re-plotted with
+// any plotting tool. Each writer emits one tidy table with a header row.
+
+// WriteFig1CSV writes the exact-vs-approximate scatter points.
+func WriteFig1CSV(w io.Writer, results []Fig1Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "exact", "approx"}); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, p := range res.Points {
+			rec := []string{res.Dataset, fmtF(p.Exact), fmtF(p.Approx)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig2CSV writes the distance-vs-rank series plus the per-dataset
+// average-distance baseline.
+func WriteFig2CSV(w io.Writer, series []Fig2Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "class", "rank", "avg_distance", "network_avg_distance"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, k := range s.Ranks {
+			rec := []string{
+				s.Dataset, s.Class, strconv.Itoa(k),
+				fmtF(s.AvgDistance[i]), fmtF(s.NetworkAvgDistance),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable4CSV writes the performance sweep.
+func WriteTable4CSV(w io.Writer, rows []Table4Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"dataset", "n", "m",
+		"prop_preproc_ns", "prop_query_ns", "prop_allpairs_ns", "prop_index_bytes",
+		"fog_ok", "fog_preproc_ns", "fog_query_ns", "fog_index_bytes",
+		"yu_ok", "yu_allpairs_ns", "yu_bytes",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset, strconv.Itoa(r.N), strconv.Itoa(r.M),
+			strconv.FormatInt(int64(r.PropPreproc), 10),
+			strconv.FormatInt(int64(r.PropQuery), 10),
+			strconv.FormatInt(int64(r.PropAllPairs), 10),
+			strconv.FormatInt(r.PropBytes, 10),
+			strconv.FormatBool(r.FogOK),
+			strconv.FormatInt(int64(r.FogPreproc), 10),
+			strconv.FormatInt(int64(r.FogQuery), 10),
+			strconv.FormatInt(r.FogBytes, 10),
+			strconv.FormatBool(r.YuOK),
+			strconv.FormatInt(int64(r.YuAllPairs), 10),
+			strconv.FormatInt(r.YuBytes, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV writes the accuracy rows.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "threshold", "proposed_recall", "fogaras_recall", "proposed_precision", "fogaras_precision", "optimal_pairs"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset, fmtF(r.Threshold),
+			fmtF(r.Proposed), fmtF(r.Fogaras),
+			fmtF(r.ProposedPrec), fmtF(r.FogarasPrec),
+			strconv.Itoa(r.Pairs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(f float64) string { return fmt.Sprintf("%g", f) }

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteFig1CSV(t *testing.T) {
+	res := []Fig1Result{{
+		Dataset: "d1",
+		Points:  []Fig1Point{{0.1, 0.05}, {0.2, 0.09}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig1CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[1][0] != "d1" || records[1][1] != "0.1" {
+		t.Fatalf("row = %v", records[1])
+	}
+}
+
+func TestWriteFig2CSV(t *testing.T) {
+	series := []Fig2Series{{
+		Dataset: "d", Class: "web",
+		Ranks: []int{1, 10}, AvgDistance: []float64{2, 2.5},
+		NetworkAvgDistance: 3.1,
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig2CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || records[2][2] != "10" {
+		t.Fatalf("records = %v", records)
+	}
+}
+
+func TestWriteTable4CSV(t *testing.T) {
+	rows := []Table4Row{{
+		Dataset: "x", N: 10, M: 20,
+		PropPreproc: time.Millisecond, PropQuery: time.Microsecond,
+		PropBytes: 100, FogOK: true, FogBytes: 7, YuOK: false,
+	}}
+	var buf bytes.Buffer
+	if err := WriteTable4CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "prop_preproc_ns") || !strings.Contains(out, "1000000") {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestWriteTable3CSV(t *testing.T) {
+	rows := []Table3Row{{Dataset: "x", Threshold: 0.04, Proposed: 0.95, Fogaras: 0.9, Pairs: 12}}
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || records[1][6] != "12" {
+		t.Fatalf("records = %v", records)
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+)
+
+// Figure 1 of the paper: scatter of exact SimRank scores against the
+// approximated scores obtained from the linear series with D ≈ (1−c)·I,
+// restricted to highly similar pairs. The paper's claim is that the
+// points lie on a straight line of slope one in log-log space, i.e. the
+// approximation rescales scores without reordering them.
+
+// Fig1Point is one scatter point.
+type Fig1Point struct {
+	Exact  float64
+	Approx float64
+}
+
+// Fig1Result holds one dataset's scatter plus summary statistics.
+type Fig1Result struct {
+	Dataset string
+	C       float64
+	Points  []Fig1Point
+	// LogSlope is the least-squares slope of log(approx) vs log(exact);
+	// the paper's claim is slope ≈ 1.
+	LogSlope float64
+	// LogR2 is the correlation coefficient squared in log space.
+	LogR2 float64
+	// SpearmanTop is the fraction of top-20 exact pairs that are also
+	// top-20 approximate pairs (ranking preservation).
+	RankOverlap float64
+}
+
+// Figure1 runs the experiment on the two collaboration/citation-class
+// datasets (the paper uses ca-GrQc and cit-HepTh).
+func Figure1(w io.Writer, cfg Config) []Fig1Result {
+	cfg = cfg.normalized()
+	section(w, "Figure 1: exact vs approximated SimRank (c = 0.6, highly similar pairs)")
+	var out []Fig1Result
+	for _, name := range []string{"ca-grqc-sim", "ca-hepth-sim"} {
+		ds, err := ByName(name, cfg.Scale*0.6) // keep exact all-pairs feasible
+		if err != nil {
+			fmt.Fprintf(w, "skip %s: %v\n", name, err)
+			continue
+		}
+		res := figure1On(ds, cfg)
+		out = append(out, res)
+		fmt.Fprintf(w, "\n%s (paper: %s): %d high-similarity pairs\n", res.Dataset, ds.PaperName, len(res.Points))
+		fmt.Fprintf(w, "  log-log slope %.3f (paper: 1.0), R^2 %.3f, top-20 rank overlap %.2f\n",
+			res.LogSlope, res.LogR2, res.RankOverlap)
+		// Print a small sample of the scatter for eyeballing.
+		step := len(res.Points)/10 + 1
+		for i := 0; i < len(res.Points); i += step {
+			p := res.Points[i]
+			fmt.Fprintf(w, "    exact %.5f   approx %.5f\n", p.Exact, p.Approx)
+		}
+	}
+	return out
+}
+
+func figure1On(ds Dataset, cfg Config) Fig1Result {
+	g := ds.MustBuild()
+	const c = 0.6
+	iters := exact.IterationsFor(c, 1e-5)
+	sTrue := exact.PartialSumsAllPairs(g, c, iters)
+	sApprox := exact.SeriesAllPairs(g, exact.UniformDiagonal(g.N(), c), c, 11)
+
+	res := Fig1Result{Dataset: ds.Name, C: c}
+	r := rng.New(cfg.Seed)
+	queries := cfg.Queries
+	if queries > g.N() {
+		queries = g.N()
+	}
+	for q := 0; q < queries; q++ {
+		u := r.Intn(g.N())
+		for v := 0; v < g.N(); v++ {
+			if v == u {
+				continue
+			}
+			ex := sTrue.At(u, v)
+			if ex < 0.02 { // "highly similar" pairs only, as in the paper
+				continue
+			}
+			res.Points = append(res.Points, Fig1Point{Exact: ex, Approx: sApprox.At(u, v)})
+		}
+	}
+	res.LogSlope, res.LogR2 = logRegression(res.Points)
+	res.RankOverlap = rankOverlap(sTrue, sApprox, 20)
+	return res
+}
+
+// logRegression fits log(approx) = a + b·log(exact) and returns (b, R²).
+func logRegression(pts []Fig1Point) (slope, r2 float64) {
+	var xs, ys []float64
+	for _, p := range pts {
+		if p.Exact > 0 && p.Approx > 0 {
+			xs = append(xs, math.Log(p.Exact))
+			ys = append(ys, math.Log(p.Approx))
+		}
+	}
+	n := float64(len(xs))
+	if n < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		syy += ys[i] * ys[i]
+		sxy += xs[i] * ys[i]
+	}
+	denX := n*sxx - sx*sx
+	if denX == 0 {
+		return 0, 0
+	}
+	slope = (n*sxy - sx*sy) / denX
+	denY := n*syy - sy*sy
+	if denY == 0 {
+		return slope, 1
+	}
+	r := (n*sxy - sx*sy) / math.Sqrt(denX*denY)
+	return slope, r * r
+}
+
+// rankOverlap measures, averaged over vertices, the fraction of each
+// vertex's exact top-k that also appears in its approximate top-k.
+func rankOverlap(sTrue, sApprox *exact.Matrix, k int) float64 {
+	n := sTrue.N
+	if n == 0 {
+		return 0
+	}
+	total, hit := 0, 0
+	for u := 0; u < n; u++ {
+		te := exact.TopK(sTrue.Row(u), uint32(u), k)
+		ta := exact.TopK(sApprox.Row(u), uint32(u), k)
+		approxSet := map[uint32]bool{}
+		for _, s := range ta {
+			approxSet[s.V] = true
+		}
+		for _, s := range te {
+			if s.Score <= 0 {
+				continue
+			}
+			total++
+			if approxSet[s.V] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}

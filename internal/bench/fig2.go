@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Figure 2 of the paper: for random query vertices, the average graph
+// distance of the k-th most similar vertex as a function of k, against
+// the network's average pairwise distance (the blue line). The paper's
+// claims: (i) top-similar vertices are far closer than average, and
+// (ii) web graphs concentrate them at smaller distances than social
+// networks.
+
+// Fig2Series is the distance-vs-rank curve for one dataset.
+type Fig2Series struct {
+	Dataset     string
+	Class       string
+	Ranks       []int
+	AvgDistance []float64 // average distance of the rank-th similar vertex
+	// NetworkAvgDistance is the sampled average pairwise distance
+	// (the blue baseline).
+	NetworkAvgDistance float64
+}
+
+// fig2Ranks are the rank sample points reported for each curve.
+var fig2Ranks = []int{1, 2, 3, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// Figure2 runs the distance-correlation experiment on one social, one
+// collaboration, and two web-class datasets (the paper uses wiki-Vote,
+// ca-HepTh, web-BerkStan, soc-LiveJournal1).
+func Figure2(w io.Writer, cfg Config) []Fig2Series {
+	cfg = cfg.normalized()
+	section(w, "Figure 2: distance of top-k similar vertices vs average distance")
+	var out []Fig2Series
+	for _, name := range []string{"wiki-vote-sim", "ca-hepth-sim", "web-berkstan-sim", "soc-livejournal-sim"} {
+		ds, err := ByName(name, cfg.Scale)
+		if err != nil {
+			fmt.Fprintf(w, "skip %s: %v\n", name, err)
+			continue
+		}
+		s := figure2On(ds, cfg)
+		out = append(out, s)
+		fmt.Fprintf(w, "\n%s (paper: %s), network avg distance %.2f\n", s.Dataset, ds.PaperName, s.NetworkAvgDistance)
+		tb := &table{header: []string{"rank k", "avg dist of k-th similar"}}
+		for i, k := range s.Ranks {
+			tb.addRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.2f", s.AvgDistance[i]))
+		}
+		tb.write(w)
+	}
+	return out
+}
+
+func figure2On(ds Dataset, cfg Config) Fig2Series {
+	g := ds.MustBuild()
+	const c, T = 0.6, 11
+	d := exact.UniformDiagonal(g.N(), c)
+	r := rng.New(cfg.Seed)
+
+	maxRank := 1000
+	if maxRank >= g.N() {
+		maxRank = g.N() - 1
+	}
+	var ranks []int
+	for _, k := range fig2Ranks {
+		if k <= maxRank {
+			ranks = append(ranks, k)
+		}
+	}
+	sums := make([]float64, len(ranks))
+	counts := make([]int, len(ranks))
+
+	queries := cfg.Queries
+	if queries > g.N() {
+		queries = g.N()
+	}
+	for q := 0; q < queries; q++ {
+		u := uint32(r.Intn(g.N()))
+		row := exact.SingleSource(g, d, c, T, u)
+		top := exact.TopK(row, u, maxRank)
+		dist := g.UndirectedDistances(u, -1)
+		for i, k := range ranks {
+			if k-1 >= len(top) || top[k-1].Score <= 0 {
+				continue
+			}
+			dd := dist[top[k-1].V]
+			if dd < 0 {
+				continue // different component: similarity 0 anyway
+			}
+			sums[i] += float64(dd)
+			counts[i]++
+		}
+	}
+
+	series := Fig2Series{Dataset: ds.Name, Class: ds.Class, Ranks: ranks}
+	series.AvgDistance = make([]float64, len(ranks))
+	for i := range ranks {
+		if counts[i] > 0 {
+			series.AvgDistance[i] = sums[i] / float64(counts[i])
+		}
+	}
+	samples := 30
+	series.NetworkAvgDistance, _, _, _ = graph.SampleAverageDistance(g, samples, cfg.Seed+7)
+	return series
+}

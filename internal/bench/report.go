@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Config controls the experiment harness.
+type Config struct {
+	// Scale multiplies dataset sizes (1.0 = default laptop scale).
+	Scale float64
+	// Queries is the number of query vertices per dataset.
+	Queries int
+	// Seed drives dataset selection of query vertices and all
+	// Monte-Carlo components.
+	Seed uint64
+	// MemoryBudget bounds comparator allocations (bytes); this is the
+	// stand-in for the paper's 256 GB testbed limit. 0 = 1 GiB.
+	MemoryBudget int64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// SkipAllPairs disables the all-pairs column of Table 4 (used to
+	// keep repeated sweeps cheap).
+	SkipAllPairs bool
+}
+
+// DefaultConfig returns a configuration that completes every experiment
+// on a laptop in minutes.
+func DefaultConfig() Config {
+	return Config{Scale: 1.0, Queries: 20, Seed: 1, MemoryBudget: 1 << 30}
+}
+
+func (c Config) normalized() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Queries <= 0 {
+		c.Queries = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 1 << 30
+	}
+	return c
+}
+
+// fmtDuration renders a duration the way the paper's tables do
+// (ms below a second, seconds otherwise).
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%.1f ms", float64(d.Microseconds())/1000)
+	case d < time.Minute:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1f min", d.Minutes())
+	}
+}
+
+// fmtBytes renders byte counts like the paper (MB / GB).
+func fmtBytes(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%d B", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1f KB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1f MB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	}
+}
+
+// table writes an aligned text table.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// section prints an underlined heading.
+func section(w io.Writer, format string, args ...any) {
+	title := fmt.Sprintf(format, args...)
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

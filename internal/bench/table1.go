@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Table 1 of the paper is the analytic complexity comparison. We print it
+// verbatim and back the two claims that matter empirically:
+//
+//  1. the preprocess is O(n) — per-vertex preprocess time is flat, and
+//  2. query time does not grow with graph size (it depends on structure).
+//
+// The scaling sweep holds the generator class fixed (copying-model web
+// graph) and quadruples n.
+
+// ScalingRow is one size point of the sweep.
+type ScalingRow struct {
+	N, M         int
+	Preproc      time.Duration
+	PreprocPerV  time.Duration
+	Query        time.Duration
+	IndexBytes   int64
+	BytesPerEdge float64
+}
+
+// Table1 prints the complexity table and runs the scaling sweep.
+func Table1(w io.Writer, cfg Config) []ScalingRow {
+	cfg = cfg.normalized()
+	section(w, "Table 1: complexity of SimRank algorithms (analytic, from the paper)")
+	tb := &table{header: []string{"algorithm", "type", "time", "space"}}
+	tb.addRow("Proposed (top-k search)", "top-k", "<< O(n) query after O(n) preprocess", "O(m)")
+	tb.addRow("Proposed (top-k for all)", "all", "<< O(n^2)", "O(m)")
+	tb.addRow("Li et al. (single-pair)", "single-pair", "O(T d^2 n^2)", "O(n^2)")
+	tb.addRow("Fogaras & Racz", "single-pair", "O(T R)", "O(m + n R)")
+	tb.addRow("Jeh & Widom (naive)", "all-pairs", "O(T n^2 d^2)", "O(n^2)")
+	tb.addRow("Lizorkin et al. (partial sums)", "all-pairs", "O(T min{n m, n^3/log n})", "O(n^2)")
+	tb.addRow("Yu et al.", "all-pairs", "O(T min{n m, n^w})", "O(n^2)")
+	tb.write(w)
+
+	section(w, "Scaling sweep: copying-model web graphs, n x4 per step")
+	sizes := []int{
+		scaleN(8000, cfg.Scale),
+		scaleN(32000, cfg.Scale),
+		scaleN(128000, cfg.Scale),
+	}
+	stb := &table{header: []string{"n", "m", "preprocess", "preproc/vertex", "avg query", "index", "idx bytes/edge"}}
+	var out []ScalingRow
+	for i, n := range sizes {
+		g := graph.CopyingModel(n, 10, 0.3, cfg.Seed+uint64(i))
+		p := core.DefaultParams()
+		p.Seed = cfg.Seed
+		p.Workers = cfg.Workers
+		start := time.Now()
+		eng := core.Build(g, p)
+		pre := time.Since(start)
+
+		queries := pickQueries(g, cfg.Queries, cfg.Seed)
+		start = time.Now()
+		for _, u := range queries {
+			eng.TopK(u, 20)
+		}
+		q := time.Since(start) / time.Duration(len(queries))
+
+		row := ScalingRow{
+			N: g.N(), M: g.M(),
+			Preproc:      pre,
+			PreprocPerV:  pre / time.Duration(g.N()),
+			Query:        q,
+			IndexBytes:   eng.Stats().IndexBytes,
+			BytesPerEdge: float64(eng.Stats().IndexBytes) / float64(g.M()),
+		}
+		out = append(out, row)
+		stb.addRow(fmt.Sprintf("%d", row.N), fmt.Sprintf("%d", row.M),
+			fmtDuration(row.Preproc), row.PreprocPerV.String(),
+			fmtDuration(row.Query), fmtBytes(row.IndexBytes),
+			fmt.Sprintf("%.1f", row.BytesPerEdge))
+	}
+	stb.write(w)
+	return out
+}

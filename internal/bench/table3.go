@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/fogaras"
+	"repro/internal/rng"
+)
+
+// Table 3 of the paper: accuracy of the proposed method and of Fogaras &
+// Rácz against exact single-source SimRank. For each threshold θ in
+// {0.04, 0.05, 0.06, 0.07}, the measure is
+//
+//	(# found vertices with exact score ≥ θ) / (# vertices with exact score ≥ θ)
+//
+// averaged over query vertices.
+//
+// Ground truth is the deterministic evaluation of the truncated linear
+// series with D = (1−c)·I — the quantity the proposed estimator targets.
+// (This choice also explains the paper's observation that Fogaras & Rácz
+// score systematically lower: their estimator targets *converged* SimRank
+// with the exact diagonal, which is scaled differently; see Figure 1.)
+
+// Table3Thresholds are the score cutoffs of the paper.
+var Table3Thresholds = []float64{0.04, 0.05, 0.06, 0.07}
+
+// Table3Row is the accuracy of both methods at one threshold on one
+// dataset.
+type Table3Row struct {
+	Dataset   string
+	Threshold float64
+	Proposed  float64
+	Fogaras   float64
+	// ProposedPrec / FogarasPrec are precision (found ∩ optimal / found).
+	// The paper reports recall only; precision exposes that Fogaras &
+	// Rácz estimates converged SimRank, which sits above the series
+	// scale (Figure 1), so at the same θ it over-reports.
+	ProposedPrec float64
+	FogarasPrec  float64
+	// Pairs is the total number of optimal high-score vertices counted.
+	Pairs int
+}
+
+// Table3 runs the accuracy comparison on the four small datasets.
+func Table3(w io.Writer, cfg Config) []Table3Row {
+	cfg = cfg.normalized()
+	section(w, "Table 3: accuracy vs exact SimRank (proposed / Fogaras-Racz R'=100)")
+	var out []Table3Row
+	tb := &table{header: []string{"dataset", "threshold", "proposed", "fogaras", "prop.prec", "fog.prec", "optimal pairs"}}
+	for _, ds := range SmallCatalog(cfg.Scale) {
+		rows := table3On(ds, cfg)
+		out = append(out, rows...)
+		for _, r := range rows {
+			tb.addRow(r.Dataset, fmt.Sprintf("%.2f", r.Threshold),
+				fmt.Sprintf("%.5f", r.Proposed), fmt.Sprintf("%.5f", r.Fogaras),
+				fmt.Sprintf("%.3f", r.ProposedPrec), fmt.Sprintf("%.3f", r.FogarasPrec),
+				fmt.Sprintf("%d", r.Pairs))
+		}
+	}
+	tb.write(w)
+	return out
+}
+
+func table3On(ds Dataset, cfg Config) []Table3Row {
+	g := ds.MustBuild()
+	const c, T = 0.6, 11
+	diag := exact.UniformDiagonal(g.N(), c)
+
+	// Proposed method, hybrid candidates for the accuracy experiment.
+	p := core.DefaultParams()
+	p.Seed = cfg.Seed
+	p.Workers = cfg.Workers
+	p.RAlpha = 2000
+	p.Strategy = core.CandidatesHybrid
+	eng := core.Build(g, p)
+
+	// Fogaras & Rácz with the paper's R' = 100.
+	fp := fogaras.DefaultParams()
+	fp.Seed = cfg.Seed
+	fidx, err := fogaras.Build(g, fp)
+	if err != nil {
+		fidx = nil
+	}
+
+	queries := cfg.Queries
+	if queries > g.N() {
+		queries = g.N()
+	}
+	r := rng.New(cfg.Seed + 3)
+	qs := make([]uint32, queries)
+	for i := range qs {
+		qs[i] = uint32(r.Intn(g.N()))
+	}
+	// Deterministic ground-truth rows, one per query.
+	rows := make([][]float64, len(qs))
+	for i, u := range qs {
+		rows[i] = exact.SingleSource(g, diag, c, T, u)
+	}
+
+	var out []Table3Row
+	for _, theta := range Table3Thresholds {
+		var propHit, fogHit, optTotal, propFound, fogFound int
+		for qi, u := range qs {
+			row := rows[qi]
+			opt := map[uint32]bool{}
+			for v, s := range row {
+				if uint32(v) != u && s >= theta {
+					opt[uint32(v)] = true
+				}
+			}
+			if len(opt) == 0 {
+				continue
+			}
+			optTotal += len(opt)
+			for _, s := range eng.Threshold(u, theta) {
+				propFound++
+				if opt[s.V] {
+					propHit++
+				}
+			}
+			if fidx != nil {
+				for _, s := range fidx.Threshold(u, theta) {
+					fogFound++
+					if opt[s.V] {
+						fogHit++
+					}
+				}
+			}
+		}
+		row := Table3Row{Dataset: ds.Name, Threshold: theta, Pairs: optTotal}
+		if optTotal > 0 {
+			row.Proposed = float64(propHit) / float64(optTotal)
+			row.Fogaras = float64(fogHit) / float64(optTotal)
+		}
+		if propFound > 0 {
+			row.ProposedPrec = float64(propHit) / float64(propFound)
+		}
+		if fogFound > 0 {
+			row.FogarasPrec = float64(fogHit) / float64(fogFound)
+		}
+		out = append(out, row)
+	}
+	return out
+}

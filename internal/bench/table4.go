@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fogaras"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/yu"
+)
+
+// Table 4 of the paper: preprocess time, query time, all-pairs time, and
+// index size for the proposed algorithm, Fogaras & Rácz, and Yu et al.,
+// across the dataset sweep. Comparators that exceed the memory budget
+// report "—" (the paper's "failed to allocate memory").
+
+// Table4Row is one dataset's measurements.
+type Table4Row struct {
+	Dataset string
+	N, M    int
+
+	// Proposed algorithm.
+	PropPreproc  time.Duration
+	PropQuery    time.Duration
+	PropAllPairs time.Duration // 0 when skipped (large graphs)
+	PropBytes    int64
+
+	// Fogaras & Rácz.
+	FogOK      bool
+	FogPreproc time.Duration
+	FogQuery   time.Duration
+	FogBytes   int64
+
+	// Yu et al.
+	YuOK       bool
+	YuAllPairs time.Duration
+	YuBytes    int64
+}
+
+// Table4 runs the performance sweep. The memory budget (cfg.MemoryBudget)
+// is the stand-in for the paper's testbed RAM.
+func Table4(w io.Writer, cfg Config) []Table4Row {
+	cfg = cfg.normalized()
+	section(w, "Table 4: preprocess / query / all-pairs time and index size (budget %s)", fmtBytes(cfg.MemoryBudget))
+	tb := &table{header: []string{
+		"dataset", "n", "m",
+		"prop.pre", "prop.query", "prop.all", "prop.idx",
+		"fog.pre", "fog.query", "fog.idx",
+		"yu.all", "yu.mem",
+	}}
+	var out []Table4Row
+	for _, ds := range Catalog(cfg.Scale) {
+		row := table4On(ds, cfg)
+		out = append(out, row)
+		dash := "—"
+		fogPre, fogQ, fogIdx := dash, dash, dash
+		if row.FogOK {
+			fogPre, fogQ, fogIdx = fmtDuration(row.FogPreproc), fmtDuration(row.FogQuery), fmtBytes(row.FogBytes)
+		}
+		yuAll, yuMem := dash, dash
+		if row.YuOK {
+			yuAll, yuMem = fmtDuration(row.YuAllPairs), fmtBytes(row.YuBytes)
+		}
+		propAll := dash
+		if row.PropAllPairs > 0 {
+			propAll = fmtDuration(row.PropAllPairs)
+		}
+		tb.addRow(ds.Name, fmt.Sprintf("%d", row.N), fmt.Sprintf("%d", row.M),
+			fmtDuration(row.PropPreproc), fmtDuration(row.PropQuery), propAll, fmtBytes(row.PropBytes),
+			fogPre, fogQ, fogIdx, yuAll, yuMem)
+	}
+	tb.write(w)
+
+	// The paper's parallel projection (§2.2): per-vertex searches are
+	// independent, so all-pairs on M machines costs ~ n·query/M. The
+	// paper projects "less than 5 days on 100 machines" for billion-edge
+	// graphs; print the same projection for the largest stand-in.
+	if len(out) == 0 {
+		return out
+	}
+	last := out[len(out)-1]
+	total := time.Duration(last.N) * last.PropQuery
+	fmt.Fprintf(w, "\nall-pairs projection for %s (n=%d, measured %s/query):\n",
+		last.Dataset, last.N, fmtDuration(last.PropQuery))
+	for _, machines := range []int{1, 10, 100} {
+		fmt.Fprintf(w, "  M=%-4d machines: ~%s\n", machines, fmtDuration(total/time.Duration(machines)))
+	}
+	return out
+}
+
+func table4On(ds Dataset, cfg Config) Table4Row {
+	g := ds.MustBuild()
+	row := Table4Row{Dataset: ds.Name, N: g.N(), M: g.M()}
+
+	queries := pickQueries(g, cfg.Queries, cfg.Seed)
+
+	// ---- Proposed algorithm ----
+	p := core.DefaultParams()
+	p.Seed = cfg.Seed
+	p.Workers = cfg.Workers
+	start := time.Now()
+	eng := core.Build(g, p)
+	row.PropPreproc = time.Since(start)
+	row.PropBytes = eng.Stats().IndexBytes
+
+	start = time.Now()
+	for _, u := range queries {
+		eng.TopK(u, 20)
+	}
+	row.PropQuery = time.Since(start) / time.Duration(len(queries))
+
+	if !cfg.SkipAllPairs && g.N() <= 8000 {
+		start = time.Now()
+		eng.AllTopK(20)
+		row.PropAllPairs = time.Since(start)
+	}
+
+	// ---- Fogaras & Rácz ----
+	fp := fogaras.DefaultParams()
+	fp.Seed = cfg.Seed
+	fp.MemoryBudget = cfg.MemoryBudget
+	fidx, err := fogaras.Build(g, fp)
+	var mb *fogaras.ErrMemoryBudget
+	switch {
+	case err == nil:
+		row.FogOK = true
+		row.FogPreproc = fidx.PreprocessTime
+		row.FogBytes = fidx.Bytes()
+		fq := queries
+		if len(fq) > 10 {
+			fq = fq[:10] // Fogaras single-source is O(TnR'); cap work
+		}
+		start = time.Now()
+		for _, u := range fq {
+			fidx.TopK(u, 20)
+		}
+		row.FogQuery = time.Since(start) / time.Duration(len(fq))
+	case errors.As(err, &mb):
+		// reproduced "failed to allocate"
+	default:
+		panic(err)
+	}
+
+	// ---- Yu et al. ----
+	yp := yu.DefaultParams()
+	yp.MemoryBudget = cfg.MemoryBudget
+	yres, err := yu.AllPairs(g, yp)
+	var ymb *yu.ErrMemoryBudget
+	switch {
+	case err == nil:
+		row.YuOK = true
+		row.YuAllPairs = yres.Elapsed
+		row.YuBytes = yres.Bytes
+	case errors.As(err, &ymb):
+		// reproduced "failed to allocate"
+	default:
+		panic(err)
+	}
+	return row
+}
+
+// pickQueries selects q deterministic random query vertices, preferring
+// vertices with at least one in-link so queries are non-trivial.
+func pickQueries(g *graph.Graph, q int, seed uint64) []uint32 {
+	if q <= 0 {
+		q = 10
+	}
+	if q > g.N() {
+		q = g.N()
+	}
+	r := rng.New(seed + 17)
+	out := make([]uint32, 0, q)
+	for tries := 0; len(out) < q && tries < 50*q; tries++ {
+		v := uint32(r.Intn(g.N()))
+		if g.InDegree(v) > 0 || tries > 25*q {
+			out = append(out, v)
+		}
+	}
+	return out
+}

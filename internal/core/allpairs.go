@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// AllTopK runs the top-k similarity search for every vertex, in parallel
+// over Params.Workers, and returns one result slice per vertex. This is
+// the "top-k for all" mode of Table 1; space is O(m + k·n).
+//
+// The per-vertex searches are independent (the paper notes the algorithm
+// is distributed-computing friendly); parallel efficiency is near-linear.
+func (e *Engine) AllTopK(k int) [][]Scored {
+	out := make([][]Scored, e.g.N())
+	e.forEachVertexParallel(func(u uint32) {
+		out[u] = e.TopK(u, k)
+	})
+	return out
+}
+
+// AllTopKFunc streams per-vertex results to fn instead of materializing
+// them; fn may be called concurrently from multiple goroutines.
+func (e *Engine) AllTopKFunc(k int, fn func(u uint32, res []Scored)) {
+	e.forEachVertexParallel(func(u uint32) {
+		fn(u, e.TopK(u, k))
+	})
+}
+
+// forEachVertexParallel runs fn for every vertex using a shared atomic
+// cursor, which balances skewed per-query costs better than striding.
+func (e *Engine) forEachVertexParallel(fn func(u uint32)) {
+	n := e.g.N()
+	workers := e.p.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			fn(uint32(u))
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				u := cursor.Add(1) - 1
+				if u >= int64(n) {
+					return
+				}
+				fn(uint32(u))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// This file implements the two SimRank upper bounds of Section 6.
+//
+// L1 bound (Algorithm 2): for a query u, α(u,d,t) is the largest
+// D_ww·P{u⁽ᵗ⁾=w} over vertices w at undirected distance d from u, and
+// β(u,d) = Σ_t cᵗ·max_{d−t ≤ d' ≤ d+t} α(u,d',t) dominates s⁽ᵀ⁾(u,v) for
+// every v at distance d (Proposition 4). Effective for low-degree queries
+// whose walk distributions stay sparse. Computed at query time.
+//
+// L2 bound (Algorithm 3): γ(u,t) = ‖√D·Pᵗe_u‖, and by Cauchy–Schwarz
+// s⁽ᵀ⁾(u,v) ≤ Σ_t cᵗ·γ(u,t)·γ(v,t) (Proposition 6). Effective for
+// high-degree queries whose walk distributions spread thin. Computed for
+// every vertex in the preprocess.
+
+// computeGammaAll fills e.gamma with Algorithm 3 estimates for every
+// vertex, in parallel.
+func (e *Engine) computeGammaAll() {
+	T := e.p.T
+	e.gamma = make([]float32, e.g.N()*T)
+	R := e.p.RGamma
+	e.parallelVertices(saltGamma, func(v uint32, r *rng.Source) {
+		e.computeGammaInto(v, R, r, e.gamma[int(v)*T:int(v)*T+T])
+	})
+}
+
+// computeGammaInto runs Algorithm 3 for one vertex: R walks from v, and
+// for each step t, γ(v,t)² is estimated by Σ_w D_ww·(count_w/R)².
+func (e *Engine) computeGammaInto(v uint32, R int, r *rng.Source, out []float32) {
+	ws := newWalkSet(e.g, r, v, R)
+	cnt := make(map[uint32]int32, R)
+	invR2 := 1.0 / (float64(R) * float64(R))
+	for t := 0; t < e.p.T; t++ {
+		if t > 0 {
+			ws.step()
+		}
+		ws.counts(cnt)
+		// Σ_w D_ww·c_w² accumulated in walk-slice order (each walk at w
+		// contributes D_ww·c_w once) so summation order is deterministic.
+		mu := 0.0
+		for _, w := range ws.pos {
+			if w != Dead {
+				mu += e.p.dval(w) * float64(cnt[w]) * invR2
+			}
+		}
+		out[t] = float32(math.Sqrt(mu))
+	}
+}
+
+// Gamma returns the preprocessed γ(v, t). It panics if the preprocess has
+// not run or t is out of range.
+func (e *Engine) Gamma(v uint32, t int) float64 {
+	return float64(e.gamma[int(v)*e.p.T+t])
+}
+
+// L2Bound returns the Cauchy–Schwarz upper bound Σ_t cᵗ·γ(u,t)·γ(v,t) on
+// s⁽ᵀ⁾(u, v) (Proposition 6). It requires the preprocess.
+func (e *Engine) L2Bound(u, v uint32) float64 {
+	T := e.p.T
+	gu := e.gamma[int(u)*T : int(u)*T+T]
+	gv := e.gamma[int(v)*T : int(v)*T+T]
+	sum := 0.0
+	ct := 1.0
+	for t := 0; t < T; t++ {
+		sum += ct * float64(gu[t]) * float64(gv[t])
+		ct *= e.p.C
+	}
+	return sum
+}
+
+// walkDist is the empirical distribution of the query vertex's walk
+// positions, P{u⁽ᵗ⁾ = w}, estimated from R walks. The query phase samples
+// it once per query (the paper's Algorithm 2 already performs these R =
+// RAlpha walks for the L1 bound) and reuses it both for β and as the
+// u-side of single-pair estimates, which removes the u-side sampling
+// noise from every candidate's score.
+type walkDist struct {
+	T int
+	// probs[t] maps w -> estimated P{u⁽ᵗ⁾ = w}.
+	probs []map[uint32]float64
+}
+
+// sampleWalkDist runs R walks from u and tabulates the per-step empirical
+// distributions.
+func (e *Engine) sampleWalkDist(u uint32, R int, r *rng.Source) *walkDist {
+	T := e.p.T
+	wd := &walkDist{T: T, probs: make([]map[uint32]float64, T)}
+	ws := newWalkSet(e.g, r, u, R)
+	cnt := make(map[uint32]int32, 256)
+	invR := 1.0 / float64(R)
+	for t := 0; t < T; t++ {
+		if t > 0 {
+			ws.step()
+		}
+		ws.counts(cnt)
+		probs := make(map[uint32]float64, len(cnt))
+		for w, c := range cnt {
+			probs[w] = float64(c) * invR
+		}
+		wd.probs[t] = probs
+		if len(probs) == 0 {
+			for tt := t + 1; tt < T; tt++ {
+				wd.probs[tt] = map[uint32]float64{}
+			}
+			break
+		}
+	}
+	return wd
+}
+
+// exactWalkDist computes the exact per-step walk distributions Pᵗe_u by
+// sparse propagation. It returns nil when any step's support exceeds
+// cap, signalling the caller to fall back to sampling.
+func (e *Engine) exactWalkDist(u uint32, cap int) *walkDist {
+	T := e.p.T
+	wd := &walkDist{T: T, probs: make([]map[uint32]float64, T)}
+	cur := map[uint32]float64{u: 1}
+	wd.probs[0] = cur
+	for t := 1; t < T; t++ {
+		next := make(map[uint32]float64, len(cur))
+		for w, mass := range cur {
+			in := e.g.In(w)
+			if len(in) == 0 {
+				continue
+			}
+			share := mass / float64(len(in))
+			for _, x := range in {
+				next[x] += share
+			}
+			if len(next) > cap {
+				return nil
+			}
+		}
+		wd.probs[t] = next
+		cur = next
+		if len(cur) == 0 {
+			for tt := t + 1; tt < T; tt++ {
+				wd.probs[tt] = map[uint32]float64{}
+			}
+			break
+		}
+	}
+	return wd
+}
+
+// dotSeries evaluates the truncated series deterministically from two
+// exact walk distributions: Σ_t cᵗ Σ_w xₜ(w)·D_ww·yₜ(w). The smaller
+// side is iterated in sorted key order so the floating-point summation
+// order — and therefore the result — is reproducible across runs.
+func (e *Engine) dotSeries(x, y *walkDist) float64 {
+	var keys []uint32
+	sum := 0.0
+	ct := 1.0
+	for t := 0; t < e.p.T; t++ {
+		if t > 0 {
+			ct *= e.p.C
+		}
+		a, b := x.probs[t], y.probs[t]
+		if len(a) == 0 || len(b) == 0 {
+			break
+		}
+		if len(b) < len(a) {
+			a, b = b, a
+		}
+		keys = keys[:0]
+		for w := range a {
+			if _, ok := b[w]; ok {
+				keys = append(keys, w)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, w := range keys {
+			sum += ct * e.p.dval(w) * a[w] * b[w]
+		}
+	}
+	return sum
+}
+
+// l1Table holds the per-query result of Algorithm 2.
+type l1Table struct {
+	dmax int
+	// beta[d] bounds s⁽ᵀ⁾(u, v) for every v at undirected distance d.
+	beta []float64
+}
+
+// computeL1From evaluates Algorithm 2's α and β from a sampled walk
+// distribution. dist maps vertices to their undirected distance from the
+// query. exploredRadius is the distance up to which dist is complete:
+// every vertex at distance ≤ exploredRadius appears in dist. Support
+// vertices absent from dist (possible when the local BFS was truncated by
+// the ball budget) are folded into a per-step overflow maximum so that β
+// remains a valid upper bound.
+func (e *Engine) computeL1From(wd *walkDist, dist map[uint32]int32, exploredRadius int) *l1Table {
+	T, dmax := e.p.T, e.p.DMax
+	// alpha[d*T + t] = α(u, d, t).
+	alpha := make([]float64, (dmax+1)*T)
+	overflow := make([]float64, T)
+	for t := 0; t < T && t < len(wd.probs); t++ {
+		for w, pr := range wd.probs[t] {
+			val := e.p.dval(w) * pr
+			d, ok := dist[w]
+			if !ok || int(d) > dmax {
+				// Distance unknown (truncated BFS) or beyond DMax:
+				// account for it conservatively.
+				if val > overflow[t] {
+					overflow[t] = val
+				}
+				continue
+			}
+			if val > alpha[int(d)*T+t] {
+				alpha[int(d)*T+t] = val
+			}
+		}
+	}
+	// β(u, d) = Σ_t cᵗ · max_{max(0,d−t) ≤ d' ≤ min(dmax,d+t)} α(u, d', t),
+	// where distances beyond exploredRadius use the overflow maximum.
+	tbl := &l1Table{dmax: dmax, beta: make([]float64, dmax+1)}
+	for d := 0; d <= dmax; d++ {
+		sum := 0.0
+		ct := 1.0
+		for t := 0; t < T; t++ {
+			lo, hi := d-t, d+t
+			if lo < 0 {
+				lo = 0
+			}
+			best := 0.0
+			if hi > exploredRadius {
+				best = overflow[t]
+			}
+			if hi > dmax {
+				hi = dmax
+			}
+			for dp := lo; dp <= hi; dp++ {
+				if a := alpha[dp*T+t]; a > best {
+					best = a
+				}
+			}
+			sum += ct * best
+			ct *= e.p.C
+		}
+		tbl.beta[d] = sum
+	}
+	return tbl
+}
+
+// bound returns β(u, d) for distance d, or +Inf when d exceeds the table.
+func (l *l1Table) bound(d int) float64 {
+	if l == nil || d < 0 || d > l.dmax {
+		return math.Inf(1)
+	}
+	return l.beta[d]
+}
+
+// DistanceBound returns the distance-only upper bound on s⁽ᵀ⁾(u, v) for
+// vertices at undirected distance d: two walks meeting at step t imply
+// d(u, v) ≤ 2t, so no term before t = ⌈d/2⌉ contributes, and each term is
+// at most max_w D_ww, giving Σ_{t ≥ ⌈d/2⌉} cᵗ·maxD = maxD·c^⌈d/2⌉/(1−c).
+// With the default D = (1−c)·I this is exactly c^⌈d/2⌉. (The paper states
+// s(u,v) ≤ c^d; this variant is the one provable for undirected distance.)
+func (e *Engine) DistanceBound(d int) float64 {
+	if d <= 0 {
+		return 1
+	}
+	maxD := 1 - e.p.C
+	if e.p.D != nil {
+		maxD = 0
+		for _, v := range e.p.D {
+			if v > maxD {
+				maxD = v
+			}
+		}
+	}
+	return maxD / (1 - e.p.C) * math.Pow(e.p.C, float64((d+1)/2))
+}
+
+// L1Bound computes β(u, ·) for the query vertex u and returns the bound
+// evaluated at distance d(u,v). Exposed for tests and ablation studies;
+// the query phase shares one table across all candidates.
+func (e *Engine) L1Bound(u uint32, d int) float64 {
+	dist := e.g.UndirectedBall(u, e.p.DMax)
+	wd := e.sampleWalkDist(u, e.p.RAlpha, e.queryRNG(u))
+	tbl := e.computeL1From(wd, dist, e.p.DMax)
+	return tbl.bound(d)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Quantitative checks of the concentration claims (Propositions 3 and 7):
+// the Monte-Carlo estimators are unbiased for the truncated series and
+// concentrate as R grows. The paper notes its Hoeffding constants are
+// loose in practice; these tests assert empirical behaviour, not the
+// stated constants.
+
+func TestSinglePairConcentration(t *testing.T) {
+	g := graph.Collaboration(60, 5, 0.8, 20, 3)
+	e := testEngine(g, 1)
+	d := exact.UniformDiagonal(g.N(), e.p.C)
+
+	// Pick a pair with a solidly positive score.
+	var u, v uint32
+	found := false
+	for a := uint32(0); int(a) < g.N() && !found; a++ {
+		row := exact.SingleSource(g, d, e.p.C, e.p.T, a)
+		for b := 0; b < g.N(); b++ {
+			if uint32(b) != a && row[b] > 0.1 {
+				u, v = a, uint32(b)
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no high-score pair in generated graph")
+	}
+	want := exact.SinglePair(g, d, e.p.C, e.p.T, u, v)
+
+	const trials = 300
+	run := func(R int) (mean, std float64) {
+		r := rng.New(99)
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			s := e.singlePairR(u, v, R, r)
+			sum += s
+			sumsq += s * s
+		}
+		mean = sum / trials
+		std = math.Sqrt(sumsq/trials - mean*mean)
+		return mean, std
+	}
+
+	mean100, std100 := run(100)
+	if math.Abs(mean100-want) > 3*std100/math.Sqrt(trials)+0.01 {
+		t.Fatalf("R=100 estimator biased: mean %v vs exact %v (std %v)", mean100, want, std100)
+	}
+	_, std400 := run(400)
+	// Variance should shrink roughly like 1/R: std ratio ≈ 2, allow slack.
+	if std400 > 0.75*std100 {
+		t.Fatalf("no concentration: std(R=100)=%v std(R=400)=%v", std100, std400)
+	}
+}
+
+func TestGammaEstimatorUnbiasedness(t *testing.T) {
+	// γ(v,t)² has an exact value computable from the sparse walk
+	// distribution; the Algorithm 3 estimator of γ² is biased upward by
+	// the multinomial variance term, which vanishes as R grows.
+	g := graph.CopyingModel(300, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := New(g, p)
+
+	v := uint32(250)
+	wd := e.exactWalkDist(v, 1<<20)
+	if wd == nil {
+		t.Fatal("support cap hit unexpectedly")
+	}
+	tt := 3
+	exactG2 := 0.0
+	for w, pr := range wd.probs[tt] {
+		exactG2 += e.p.dval(w) * pr * pr
+	}
+
+	estimate := func(R, trials int) float64 {
+		r := rng.New(7)
+		out := make([]float32, p.T)
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			e.computeGammaInto(v, R, r, out)
+			sum += float64(out[tt]) * float64(out[tt])
+		}
+		return sum / float64(trials)
+	}
+	small := estimate(50, 200)
+	large := estimate(2000, 50)
+	// The large-R estimate must be much closer to the exact value.
+	errSmall := math.Abs(small - exactG2)
+	errLarge := math.Abs(large - exactG2)
+	if errLarge > errSmall && errLarge > 0.01 {
+		t.Fatalf("gamma^2 estimate not improving: R=50 err %v, R=2000 err %v (exact %v)",
+			errSmall, errLarge, exactG2)
+	}
+	if errLarge > 0.2*exactG2+1e-3 {
+		t.Fatalf("gamma^2 at R=2000 too far off: %v vs %v", large, exactG2)
+	}
+}
+
+func TestOneSidedVarianceReduction(t *testing.T) {
+	// The one-sided estimator (near-exact u-side) must have lower
+	// variance than two-sided Algorithm 1 at equal v-side R.
+	g := graph.Collaboration(60, 5, 0.8, 20, 9)
+	e := testEngine(g, 2)
+	d := exact.UniformDiagonal(g.N(), e.p.C)
+	var u, v uint32
+	found := false
+	for a := uint32(0); int(a) < g.N() && !found; a++ {
+		row := exact.SingleSource(g, d, e.p.C, e.p.T, a)
+		for b := 0; b < g.N(); b++ {
+			if uint32(b) != a && row[b] > 0.1 {
+				u, v = a, uint32(b)
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no high-score pair")
+	}
+	const trials = 250
+	r := rng.New(5)
+	wd := e.exactWalkDist(u, 1<<20)
+	if wd == nil {
+		t.Fatal("support cap hit")
+	}
+	variance := func(f func() float64) float64 {
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			s := f()
+			sum += s
+			sumsq += s * s
+		}
+		mean := sum / trials
+		return sumsq/trials - mean*mean
+	}
+	varTwo := variance(func() float64 { return e.singlePairR(u, v, 100, r) })
+	varOne := variance(func() float64 { return e.singlePairOneSided(wd, v, 100, r) })
+	if varOne > varTwo {
+		t.Fatalf("one-sided variance %v not below two-sided %v", varOne, varTwo)
+	}
+}

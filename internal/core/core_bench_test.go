@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func coreBenchEngine(b *testing.B) *Engine {
+	b.Helper()
+	g := graph.CopyingModel(20000, 8, 0.3, 1)
+	p := DefaultParams()
+	p.Seed = 1
+	return Build(g, p)
+}
+
+func BenchmarkSinglePairAlg1(b *testing.B) {
+	e := coreBenchEngine(b)
+	n := uint32(e.Graph().N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SinglePairR(uint32(i)%n, uint32(i*13+7)%n, 100)
+	}
+}
+
+func BenchmarkSampleWalkDist(b *testing.B) {
+	e := coreBenchEngine(b)
+	r := rng.New(1)
+	n := uint32(e.Graph().N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.sampleWalkDist(uint32(i)%n, e.p.RAlpha, r)
+	}
+}
+
+func BenchmarkComputeL1(b *testing.B) {
+	e := coreBenchEngine(b)
+	r := rng.New(1)
+	u := uint32(42)
+	dist := e.Graph().UndirectedBall(u, e.p.DMax)
+	wd := e.sampleWalkDist(u, e.p.RAlpha, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.computeL1From(wd, dist, e.p.DMax)
+	}
+}
+
+func BenchmarkL2Bound(b *testing.B) {
+	e := coreBenchEngine(b)
+	n := uint32(e.Graph().N())
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += e.L2Bound(uint32(i)%n, uint32(i*31+5)%n)
+	}
+	_ = sink
+}
+
+func BenchmarkGammaPreprocessPerVertex(b *testing.B) {
+	g := graph.CopyingModel(5000, 8, 0.3, 2)
+	p := DefaultParams()
+	e := New(g, p)
+	r := rng.New(3)
+	out := make([]float32, p.T)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.computeGammaInto(uint32(i%g.N()), p.RGamma, r, out)
+	}
+}
+
+func BenchmarkIndexEntryPerVertex(b *testing.B) {
+	g := graph.CopyingModel(5000, 8, 0.3, 2)
+	p := DefaultParams()
+	e := New(g, p)
+	r := rng.New(3)
+	s := newIndexScratch(p.T, p.Q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.buildIndexEntry(uint32(i%g.N()), r, s)
+	}
+}
+
+func BenchmarkSimilarityJoinSmall(b *testing.B) {
+	g := graph.Collaboration(150, 4, 0.85, 20, 5)
+	p := DefaultParams()
+	p.Seed = 1
+	p.RAlpha = 500
+	e := Build(g, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SimilarityJoin(0.05, 0)
+	}
+}
+
+func BenchmarkDynamicIncrementalRefresh(b *testing.B) {
+	g := graph.CopyingModel(3000, 6, 0.3, 4)
+	p := DefaultParams()
+	p.Seed = 1
+	d := NewDynamicFrom(g, p)
+	if err := d.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := uint32((i*17 + 11) % 2999)
+		d.AddEdge(u, u+1)
+		if err := d.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+		d.RemoveEdge(u, u+1)
+		if err := d.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// DynamicEngine maintains a similarity-search engine over a mutable edge
+// set. Edge insertions and deletions are buffered; the first query after
+// a batch of updates triggers an incremental refresh that recomputes the
+// preprocess artifacts (γ rows and candidate-index entries) only for the
+// vertices whose random-walk behaviour could have changed.
+//
+// An edge update (a, b) changes In(b), and a walk's behaviour changes
+// only at vertices whose walks can visit b — exactly the vertices
+// reachable from b via out-edges within T steps. The refresh recomputes
+// those; when the affected set exceeds half the graph it falls back to a
+// full rebuild.
+type DynamicEngine struct {
+	mu    sync.Mutex
+	p     Params
+	n     int
+	edges map[uint64]struct{}
+	// dirty holds edge targets whose in-lists changed since the last
+	// refresh.
+	dirty map[uint32]struct{}
+	eng   *Engine // current engine; nil until first refresh
+	// rebuilds and incrementals count refresh kinds, for tests and
+	// diagnostics.
+	rebuilds     int
+	incrementals int
+}
+
+// NewDynamic returns a dynamic engine with n vertices and no edges.
+func NewDynamic(n int, p Params) *DynamicEngine {
+	return &DynamicEngine{
+		p:     p.normalized(),
+		n:     n,
+		edges: make(map[uint64]struct{}),
+		dirty: make(map[uint32]struct{}),
+	}
+}
+
+// NewDynamicFrom seeds the dynamic engine with an existing graph.
+func NewDynamicFrom(g *graph.Graph, p Params) *DynamicEngine {
+	d := NewDynamic(g.N(), p)
+	g.Edges(func(u, v uint32) bool {
+		d.edges[edgeKey(u, v)] = struct{}{}
+		return true
+	})
+	return d
+}
+
+func edgeKey(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// N returns the vertex count.
+func (d *DynamicEngine) N() int { return d.n }
+
+// M returns the current edge count (including buffered updates).
+func (d *DynamicEngine) M() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.edges)
+}
+
+// AddEdge inserts the directed edge (u, v). Self-loops are rejected, as
+// in the static builder. Inserting an existing edge is a no-op.
+func (d *DynamicEngine) AddEdge(u, v uint32) error {
+	if int(u) >= d.n || int(v) >= d.n {
+		return fmt.Errorf("core: edge (%d,%d) out of range for n=%d", u, v, d.n)
+	}
+	if u == v {
+		return fmt.Errorf("core: self-loop (%d,%d) not allowed", u, v)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := edgeKey(u, v)
+	if _, ok := d.edges[k]; ok {
+		return nil
+	}
+	d.edges[k] = struct{}{}
+	d.dirty[v] = struct{}{}
+	return nil
+}
+
+// RemoveEdge deletes the directed edge (u, v). Removing a missing edge is
+// a no-op.
+func (d *DynamicEngine) RemoveEdge(u, v uint32) error {
+	if int(u) >= d.n || int(v) >= d.n {
+		return fmt.Errorf("core: edge (%d,%d) out of range for n=%d", u, v, d.n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := edgeKey(u, v)
+	if _, ok := d.edges[k]; !ok {
+		return nil
+	}
+	delete(d.edges, k)
+	d.dirty[v] = struct{}{}
+	return nil
+}
+
+// Pending reports the number of vertices with buffered in-list changes.
+func (d *DynamicEngine) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.dirty)
+}
+
+// Refreshes reports how many incremental and full refreshes have run.
+func (d *DynamicEngine) Refreshes() (incremental, full int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.incrementals, d.rebuilds
+}
+
+// TopK answers a top-k query, refreshing first if updates are pending.
+func (d *DynamicEngine) TopK(u uint32, k int) ([]Scored, error) {
+	eng, err := d.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.TopK(u, k), nil
+}
+
+// SinglePair estimates s⁽ᵀ⁾(u, v), refreshing first if needed.
+func (d *DynamicEngine) SinglePair(u, v uint32) (float64, error) {
+	eng, err := d.engine()
+	if err != nil {
+		return 0, err
+	}
+	return eng.SinglePair(u, v), nil
+}
+
+// Engine returns the refreshed inner engine.
+func (d *DynamicEngine) Engine() (*Engine, error) { return d.engine() }
+
+func (d *DynamicEngine) engine() (*Engine, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.eng != nil && len(d.dirty) == 0 {
+		return d.eng, nil
+	}
+	if err := d.refreshLocked(); err != nil {
+		return nil, err
+	}
+	return d.eng, nil
+}
+
+// Refresh applies buffered updates immediately instead of lazily.
+func (d *DynamicEngine) Refresh() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.eng != nil && len(d.dirty) == 0 {
+		return nil
+	}
+	return d.refreshLocked()
+}
+
+func (d *DynamicEngine) refreshLocked() error {
+	g := d.buildGraphLocked()
+	if d.eng == nil {
+		// First materialization: full preprocess.
+		d.eng = Build(g, d.p)
+		d.rebuilds++
+		d.dirty = make(map[uint32]struct{})
+		return nil
+	}
+
+	// Affected vertices: out-BFS from each dirty target within T steps
+	// on the NEW graph, plus the same on the old graph (a removed edge
+	// changes walks that used to reach the target through it).
+	affected := make(map[uint32]struct{})
+	old := d.eng.g
+	for b := range d.dirty {
+		markOutReachable(g, b, d.p.T, affected)
+		markOutReachable(old, b, d.p.T, affected)
+	}
+	if len(affected)*2 >= d.n {
+		d.eng = Build(g, d.p)
+		d.rebuilds++
+		d.dirty = make(map[uint32]struct{})
+		return nil
+	}
+
+	// Incremental: recompute γ rows and index entries for affected
+	// vertices only, on a new engine sharing the untouched artifacts.
+	ne := New(g, d.p)
+	ne.gamma = cloneFloat32(d.eng.gamma)
+	T := ne.p.T
+	ri := make([][]uint32, d.n)
+	copy(ri, d.eng.idx.right)
+	r := rng.New(ne.p.Seed)
+	scratch := newIndexScratch(T, ne.p.Q)
+	for v := range affected {
+		if ne.gamma != nil {
+			r.Seed(ne.vertexSeed(saltGamma, v))
+			ne.computeGammaInto(v, ne.p.RGamma, r, ne.gamma[int(v)*T:int(v)*T+T])
+		}
+		r.Seed(ne.vertexSeed(saltIndex, v))
+		ri[v] = ne.buildIndexEntry(v, r, scratch)
+	}
+	idx := &candidateIndex{right: ri}
+	idx.buildInverted(d.n)
+	ne.idx = idx
+	ne.stats = d.eng.stats
+	ne.stats.IndexBytes = int64(len(ne.gamma))*4 + idx.bytes()
+	d.eng = ne
+	d.incrementals++
+	d.dirty = make(map[uint32]struct{})
+	return nil
+}
+
+// buildGraphLocked materializes the current edge set as a CSR graph.
+func (d *DynamicEngine) buildGraphLocked() *graph.Graph {
+	b := graph.NewBuilder(d.n)
+	for k := range d.edges {
+		b.AddEdge(uint32(k>>32), uint32(k&0xffffffff))
+	}
+	return b.Build()
+}
+
+// markOutReachable adds every vertex reachable from src via out-edges in
+// at most depth steps to the set (including src itself).
+func markOutReachable(g *graph.Graph, src uint32, depth int, into map[uint32]struct{}) {
+	type qe struct {
+		v uint32
+		d int
+	}
+	if _, ok := into[src]; !ok {
+		into[src] = struct{}{}
+	}
+	queue := []qe{{src, 0}}
+	seen := map[uint32]struct{}{src: {}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.d >= depth {
+			continue
+		}
+		for _, w := range g.Out(cur.v) {
+			if _, ok := seen[w]; ok {
+				continue
+			}
+			seen[w] = struct{}{}
+			into[w] = struct{}{}
+			queue = append(queue, qe{w, cur.d + 1})
+		}
+	}
+}
+
+func cloneFloat32(xs []float32) []float32 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]float32, len(xs))
+	copy(out, xs)
+	return out
+}

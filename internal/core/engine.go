@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Engine bundles a graph with the preprocess results (γ table and the
+// bipartite candidate index) and answers top-k similarity queries.
+//
+// Build an Engine once with Build, then issue queries from any number of
+// goroutines: queries do not mutate the engine.
+type Engine struct {
+	g *graph.Graph
+	p Params
+
+	// gamma[v*T + t] = γ(v, t) from Algorithm 3 (L2 bound), row-major.
+	gamma []float32
+
+	// idx is the bipartite candidate index H from Algorithm 4:
+	// idx lists each left vertex's right-neighbours; inv is the
+	// inverted (right -> left) direction used for candidate joins.
+	idx *candidateIndex
+
+	stats PreprocessStats
+}
+
+// PreprocessStats records the cost of each preprocess component.
+type PreprocessStats struct {
+	GammaTime time.Duration
+	IndexTime time.Duration
+	// IndexBytes approximates the memory footprint of the preprocess
+	// results (γ table + candidate index).
+	IndexBytes int64
+}
+
+// Build runs the full preprocess of Section 7.1 — the γ table of
+// Algorithm 3 and the candidate index of Algorithm 4 — and returns a
+// query-ready engine. Cost is O(n·(R+PQ)·T) walk steps, parallelized
+// over Params.Workers.
+func Build(g *graph.Graph, p Params) *Engine {
+	e := New(g, p)
+	e.Preprocess()
+	return e
+}
+
+// New returns an engine without running the preprocess. SinglePair works
+// immediately; TopK and Threshold queries require Preprocess first unless
+// Params.Strategy is CandidatesBall and the L2 bound is disabled.
+func New(g *graph.Graph, p Params) *Engine {
+	return &Engine{g: g, p: p.normalized()}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Params returns the engine's normalized parameters.
+func (e *Engine) Params() Params { return e.p }
+
+// Stats returns preprocess cost statistics.
+func (e *Engine) Stats() PreprocessStats { return e.stats }
+
+// Preprocess computes the γ table (Algorithm 3) and the candidate index
+// (Algorithm 4). It may be called again after parameter changes.
+func (e *Engine) Preprocess() {
+	start := time.Now()
+	if !e.p.DisableL2 {
+		e.computeGammaAll()
+	}
+	e.stats.GammaTime = time.Since(start)
+
+	start = time.Now()
+	if e.p.Strategy != CandidatesBall {
+		e.buildIndex()
+	}
+	e.stats.IndexTime = time.Since(start)
+
+	e.stats.IndexBytes = int64(len(e.gamma)) * 4
+	if e.idx != nil {
+		e.stats.IndexBytes += e.idx.bytes()
+	}
+}
+
+// phase salts keep the RNG streams of the two preprocess passes disjoint
+// (and reproducible per vertex regardless of worker count or whether a
+// vertex is recomputed incrementally).
+const (
+	saltGamma = 0x6a09e667f3bcc909
+	saltIndex = 0xbb67ae8584caa73b
+)
+
+// vertexSeed derives the deterministic RNG seed for one vertex in one
+// preprocess phase.
+func (e *Engine) vertexSeed(phase uint64, v uint32) uint64 {
+	return e.p.Seed ^ phase ^ (0x9e3779b97f4a7c15 * uint64(v+1))
+}
+
+// parallelVertices runs fn(v) for every vertex, sharded over workers.
+// The RNG handed to fn is re-seeded per vertex (not per worker), so
+// results are independent of the worker count.
+func (e *Engine) parallelVertices(phase uint64, fn func(v uint32, r *rng.Source)) {
+	n := e.g.N()
+	workers := e.p.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		r := rng.New(e.p.Seed)
+		for v := 0; v < n; v++ {
+			r.Seed(e.vertexSeed(phase, uint32(v)))
+			fn(uint32(v), r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			r := rng.New(0)
+			for v := shard; v < n; v += workers {
+				r.Seed(e.vertexSeed(phase, uint32(v)))
+				fn(uint32(v), r)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// queryRNG returns the deterministic RNG stream for queries at vertex u.
+func (e *Engine) queryRNG(u uint32) *rng.Source {
+	return rng.New(e.p.Seed ^ 0xd1b54a32d192ed03 ^ (0xbf58476d1ce4e5b9 * uint64(u+1)))
+}
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("core.Engine{%v, c=%.2f, T=%d}", e.g, e.p.C, e.p.T)
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzLoadIndex checks the persisted-index loader against corrupt input:
+// it must never panic or accept an index that breaks queries.
+func FuzzLoadIndex(f *testing.F) {
+	g := graph.CopyingModel(60, 4, 0.3, 1)
+	p := DefaultParams()
+	p.Workers = 1
+	p.RAlpha = 100
+	e := Build(g, p)
+	var valid bytes.Buffer
+	if err := e.SaveIndex(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:10])
+	flipped := append([]byte(nil), valid.Bytes()...)
+	if len(flipped) > 40 {
+		flipped[33] ^= 0xff
+	}
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		e2, err := LoadIndex(g, p, bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever loads must answer queries without panicking and
+		// with well-formed results.
+		res := e2.TopK(3, 5)
+		if len(res) > 5 {
+			t.Fatalf("loaded index returned %d results", len(res))
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i].Score > res[i-1].Score {
+				t.Fatal("loaded index returned unsorted results")
+			}
+		}
+	})
+}

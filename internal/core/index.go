@@ -1,0 +1,227 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// candidateIndex is the auxiliary bipartite graph H of Section 7.1: the
+// left vertices are queries, the right vertices are frequently-reached
+// walk positions, and two left vertices are candidate-similar when they
+// share a right neighbour.
+type candidateIndex struct {
+	// right[u] lists u_left's right neighbours, sorted and deduplicated.
+	right [][]uint32
+	// left[w] lists the left vertices adjacent to w_right, sorted.
+	left [][]uint32
+}
+
+// buildIndex runs Algorithm 4 (INDEXING) for every vertex in parallel:
+// P trials per vertex, each performing one index walk W0 and Q collision
+// walks W1..WQ; whenever two collision walks coincide at step t (both
+// alive), the step-t vertex of W0 is added to the vertex's index.
+func (e *Engine) buildIndex() {
+	n := e.g.N()
+	T, Q := e.p.T, e.p.Q
+	idx := &candidateIndex{right: make([][]uint32, n)}
+
+	e.parallelVertices(saltIndex, func(u uint32, r *rng.Source) {
+		idx.right[u] = e.buildIndexEntry(u, r, newIndexScratch(T, Q))
+	})
+
+	idx.buildInverted(n)
+	e.idx = idx
+}
+
+// indexScratch holds per-worker walk buffers for index construction.
+type indexScratch struct {
+	w0    []uint32
+	walks [][]uint32
+}
+
+func newIndexScratch(T, Q int) *indexScratch {
+	s := &indexScratch{w0: make([]uint32, T+1), walks: make([][]uint32, Q)}
+	for j := range s.walks {
+		s.walks[j] = make([]uint32, T+1)
+	}
+	return s
+}
+
+// buildIndexEntry runs the per-vertex part of Algorithm 4 and returns the
+// sorted, deduplicated index entry for u (nil when no collisions occur).
+func (e *Engine) buildIndexEntry(u uint32, r *rng.Source, s *indexScratch) []uint32 {
+	T, P, Q := e.p.T, e.p.P, e.p.Q
+	var set []uint32
+	for trial := 0; trial < P; trial++ {
+		singleWalk(e.g, r, u, T, s.w0)
+		for j := 0; j < Q; j++ {
+			singleWalk(e.g, r, u, T, s.walks[j])
+		}
+		for t := 1; t <= T; t++ {
+			if s.w0[t] == Dead {
+				break
+			}
+			if hasCollision(s.walks, t) {
+				set = append(set, s.w0[t])
+			}
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	dedup := set[:1]
+	for _, v := range set[1:] {
+		if v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	out := make([]uint32, len(dedup))
+	copy(out, dedup)
+	return out
+}
+
+// hasCollision reports whether at least two of the walks coincide (alive)
+// at step t.
+func hasCollision(walks [][]uint32, t int) bool {
+	for j := 0; j < len(walks); j++ {
+		wj := walks[j][t]
+		if wj == Dead {
+			continue
+		}
+		for k := j + 1; k < len(walks); k++ {
+			if walks[k][t] == wj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildInverted constructs the right-to-left adjacency. Left lists come
+// out sorted because construction iterates left vertices in ascending
+// order.
+func (ci *candidateIndex) buildInverted(n int) {
+	counts := make([]int32, n)
+	for _, rs := range ci.right {
+		for _, w := range rs {
+			counts[w]++
+		}
+	}
+	ci.left = make([][]uint32, n)
+	for w := range ci.left {
+		if counts[w] > 0 {
+			ci.left[w] = make([]uint32, 0, counts[w])
+		}
+	}
+	for u, rs := range ci.right {
+		for _, w := range rs {
+			ci.left[w] = append(ci.left[w], uint32(u))
+		}
+	}
+}
+
+// candidates appends to out every left vertex sharing a right neighbour
+// with u (excluding u itself), deduplicated via the seen scratch map.
+func (ci *candidateIndex) candidates(u uint32, seen map[uint32]struct{}, out []uint32) []uint32 {
+	if ci == nil {
+		return out
+	}
+	for _, w := range ci.right[u] {
+		for _, v := range ci.left[w] {
+			if v == u {
+				continue
+			}
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// bytes approximates the index memory footprint.
+func (ci *candidateIndex) bytes() int64 {
+	var total int64
+	for _, rs := range ci.right {
+		total += int64(len(rs)) * 4
+	}
+	for _, ls := range ci.left {
+		total += int64(len(ls)) * 4
+	}
+	// Slice headers.
+	total += int64(len(ci.right)+len(ci.left)) * 24
+	return total
+}
+
+// indexedVertices reports how many vertices have a non-empty index entry;
+// used by tests and diagnostics.
+func (ci *candidateIndex) indexedVertices() int {
+	n := 0
+	for _, rs := range ci.right {
+		if len(rs) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Scored pairs a vertex with its estimated SimRank score.
+type Scored struct {
+	V     uint32
+	Score float64
+}
+
+// topKAcc accumulates the k best scored vertices seen so far. It keeps a
+// sorted slice; k is small (paper: 20), so insertion beats a heap.
+type topKAcc struct {
+	k  int
+	xs []Scored
+}
+
+func newTopKAcc(k int) *topKAcc { return &topKAcc{k: k} }
+
+// add offers a scored vertex.
+func (a *topKAcc) add(s Scored) {
+	if a.k <= 0 {
+		return
+	}
+	if len(a.xs) < a.k {
+		a.xs = append(a.xs, s)
+		for i := len(a.xs) - 1; i > 0 && scoredLess(a.xs[i-1], a.xs[i]); i-- {
+			a.xs[i-1], a.xs[i] = a.xs[i], a.xs[i-1]
+		}
+		return
+	}
+	if !scoredLess(a.xs[a.k-1], s) {
+		return
+	}
+	a.xs[a.k-1] = s
+	for i := a.k - 1; i > 0 && scoredLess(a.xs[i-1], a.xs[i]); i-- {
+		a.xs[i-1], a.xs[i] = a.xs[i], a.xs[i-1]
+	}
+}
+
+// kth returns the current k-th best score, or 0 when fewer than k entries
+// have been seen (so it is always a valid pruning lower bound).
+func (a *topKAcc) kth() float64 {
+	if len(a.xs) < a.k {
+		return 0
+	}
+	return a.xs[a.k-1].Score
+}
+
+// result returns the accumulated top-k, best first.
+func (a *topKAcc) result() []Scored { return a.xs }
+
+// scoredLess orders by score ascending (so "less" means worse), breaking
+// ties toward larger vertex IDs for deterministic output.
+func scoredLess(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.V > b.V
+}

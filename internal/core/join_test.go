@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func TestSimilarityJoinFindsHighPairs(t *testing.T) {
+	g := graph.Collaboration(80, 5, 0.8, 30, 7)
+	p := DefaultParams()
+	p.Seed = 2
+	p.Workers = 2
+	p.RAlpha = 1000
+	p.Strategy = CandidatesHybrid
+	e := Build(g, p)
+
+	pairs := e.SimilarityJoin(0.05, 0)
+	// Shape checks.
+	seen := map[uint64]bool{}
+	for i, pr := range pairs {
+		if pr.U >= pr.V {
+			t.Fatalf("pair %d not normalized: %+v", i, pr)
+		}
+		if pr.Score < 0.05 {
+			t.Fatalf("pair %d below theta: %+v", i, pr)
+		}
+		key := uint64(pr.U)<<32 | uint64(pr.V)
+		if seen[key] {
+			t.Fatalf("duplicate pair %+v", pr)
+		}
+		seen[key] = true
+		if i > 0 && pairs[i-1].Score < pr.Score {
+			t.Fatal("pairs not sorted by score")
+		}
+	}
+
+	// Coverage check against exact scores: pairs clearly above theta
+	// must be present.
+	d := exact.UniformDiagonal(g.N(), p.C)
+	missed := 0
+	want := 0
+	for u := uint32(0); int(u) < g.N(); u += 3 {
+		row := exact.SingleSource(g, d, p.C, p.T, u)
+		for v := int(u) + 1; v < g.N(); v++ {
+			if row[v] >= 0.12 { // far above theta and MC noise
+				want++
+				key := uint64(u)<<32 | uint64(v)
+				if !seen[key] {
+					missed++
+				}
+			}
+		}
+	}
+	if want > 0 && missed*10 > want {
+		t.Fatalf("similarity join missed %d/%d clearly-high pairs", missed, want)
+	}
+}
+
+func TestSimilarityJoinMaxPairs(t *testing.T) {
+	g := graph.Collaboration(40, 5, 0.8, 20, 3)
+	p := DefaultParams()
+	p.Seed = 4
+	p.Workers = 1
+	p.RAlpha = 500
+	e := Build(g, p)
+	all := e.SimilarityJoin(0.02, 0)
+	if len(all) < 3 {
+		t.Skipf("graph produced only %d joins", len(all))
+	}
+	capped := e.SimilarityJoin(0.02, 3)
+	if len(capped) != 3 {
+		t.Fatalf("capped join returned %d pairs", len(capped))
+	}
+	// The capped result keeps the strongest pairs.
+	if capped[0].Score < all[2].Score {
+		t.Fatalf("cap dropped strong pairs: %v vs %v", capped[0], all[2])
+	}
+}
+
+func TestSimilarityJoinEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(g, p)
+	if pairs := e.SimilarityJoin(0.01, 0); len(pairs) != 0 {
+		t.Fatalf("edgeless graph produced %d pairs", len(pairs))
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's contribution: Monte-Carlo top-k
+// SimRank similarity search based on the linear recursive formulation.
+//
+// The pieces map to the paper as follows:
+//
+//   - Algorithm 1 (Monte-Carlo single-pair SimRank)       -> singlepair.go
+//   - Algorithm 2 (α/β computation, the L1 bound)         -> bounds.go
+//   - Algorithm 3 (γ computation, the L2 bound)           -> bounds.go
+//   - Algorithm 4 (preprocess: bipartite candidate index) -> index.go
+//   - Algorithm 5 (query: prune + adaptive sampling)      -> query.go
+//   - parallel all-vertices similarity search             -> allpairs.go
+package core
+
+import "runtime"
+
+// CandidateStrategy selects how the query phase enumerates candidate
+// vertices before pruning.
+type CandidateStrategy int
+
+const (
+	// CandidatesIndex uses the bipartite random-walk index H of
+	// Algorithm 4 (the paper's method).
+	CandidatesIndex CandidateStrategy = iota
+	// CandidatesBall enumerates every vertex within undirected distance
+	// DMax of the query. Exhaustive and slower; used for ablations.
+	CandidatesBall
+	// CandidatesHybrid unions the index candidates with the distance-2
+	// ball, trading a little query time for recall.
+	CandidatesHybrid
+)
+
+func (s CandidateStrategy) String() string {
+	switch s {
+	case CandidatesIndex:
+		return "index"
+	case CandidatesBall:
+		return "ball"
+	case CandidatesHybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// Params holds every tunable of the method. The zero value is not useful;
+// start from DefaultParams. Field defaults follow Section 8 of the paper.
+type Params struct {
+	// C is the SimRank decay factor, in (0, 1). Paper experiments: 0.6.
+	C float64
+	// T is the number of series terms / walk steps. Paper: 11.
+	T int
+	// RScore is the number of walks for refined single-pair estimates
+	// (Algorithm 1). Paper: 100.
+	RScore int
+	// RRough is the number of walks for the rough adaptive pass. Paper: 10.
+	RRough int
+	// RAlpha is the number of walks used by Algorithm 2 for the α/β
+	// (L1) bound, computed at query time. Paper: 10000.
+	RAlpha int
+	// RGamma is the number of walks per vertex used by Algorithm 3 for
+	// the γ (L2) bound, computed in the preprocess. Paper: 100.
+	RGamma int
+	// P and Q control index construction (Algorithm 4): P independent
+	// trials per vertex, each with one index walk W0 and Q collision
+	// walks. Paper: P = 10, Q = 5.
+	P int
+	Q int
+	// Theta is the score threshold below which the search is cut off.
+	// Paper: 0.01.
+	Theta float64
+	// DMax is the maximum distance considered by the L1 bound; vertices
+	// farther than DMax from the query are never top-k candidates in
+	// practice. Paper: DMax = T.
+	DMax int
+	// BallBudget caps the number of vertices the per-query local BFS
+	// may visit, keeping query work local on high-expansion graphs.
+	// Candidates beyond the explored region simply fall back to the L2
+	// bound. 0 means the default (20000); negative means unlimited.
+	BallBudget int
+	// Strategy selects the candidate enumeration method.
+	Strategy CandidateStrategy
+	// DisableL1, DisableL2, DisableAdaptive switch off individual
+	// pruning ingredients; used by the ablation benchmarks.
+	DisableL1       bool
+	DisableL2       bool
+	DisableAdaptive bool
+	// ExactScoring replaces Monte-Carlo candidate scores with a
+	// deterministic sparse evaluation of the truncated series whenever
+	// the walk-distribution support stays under ExactSupportCap
+	// (falling back to sampling when it explodes, e.g. around social
+	// hubs). Eliminates sampling noise on locality-friendly graphs at
+	// some query-time cost.
+	ExactScoring bool
+	// ExactSupportCap bounds the sparse-propagation support per step.
+	// 0 means the default (4096).
+	ExactSupportCap int
+	// D, when non-nil, supplies a custom diagonal correction matrix
+	// (one entry per vertex). When nil the paper's approximation
+	// D = (1−c)·I is used.
+	D []float64
+	// Seed makes every Monte-Carlo component deterministic.
+	Seed uint64
+	// Workers bounds preprocess and all-pairs parallelism.
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultParams returns the parameter set used in the paper's experiments
+// (Section 8).
+func DefaultParams() Params {
+	return Params{
+		C:      0.6,
+		T:      11,
+		RScore: 100,
+		RRough: 10,
+		RAlpha: 10000,
+		RGamma: 100,
+		P:      10,
+		Q:      5,
+		Theta:  0.01,
+		DMax:   11,
+		Seed:   1,
+	}
+}
+
+// normalized returns a copy with zero fields replaced by defaults and
+// invalid fields clamped.
+func (p Params) normalized() Params {
+	def := DefaultParams()
+	if p.C <= 0 || p.C >= 1 {
+		p.C = def.C
+	}
+	if p.T <= 0 {
+		p.T = def.T
+	}
+	if p.RScore <= 0 {
+		p.RScore = def.RScore
+	}
+	if p.RRough <= 0 {
+		p.RRough = def.RRough
+	}
+	if p.RAlpha <= 0 {
+		p.RAlpha = def.RAlpha
+	}
+	if p.RGamma <= 0 {
+		p.RGamma = def.RGamma
+	}
+	if p.P <= 0 {
+		p.P = def.P
+	}
+	if p.Q <= 0 {
+		p.Q = def.Q
+	}
+	if p.Theta <= 0 {
+		// A non-positive threshold takes the default; pass a tiny
+		// positive value (e.g. 1e-12) to effectively disable it.
+		p.Theta = def.Theta
+	}
+	if p.DMax <= 0 {
+		p.DMax = p.T
+	}
+	if p.BallBudget == 0 {
+		p.BallBudget = 20000
+	}
+	if p.ExactSupportCap <= 0 {
+		p.ExactSupportCap = 4096
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// dval returns the diagonal correction entry for vertex w.
+func (p *Params) dval(w uint32) float64 {
+	if p.D != nil {
+		return p.D[w]
+	}
+	return 1 - p.C
+}

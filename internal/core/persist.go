@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Index persistence: the preprocess results (the γ table of Algorithm 3
+// and the candidate index of Algorithm 4) can be saved after Build and
+// reloaded later, so the O(n) preprocess is a one-time job per graph.
+//
+// Binary layout (little endian):
+//
+//	magic uint32 | version uint32
+//	n uint32 | T uint32 | c float64 | seed uint64
+//	hasGamma uint8 [ gamma: n*T float32 ]
+//	hasIndex uint8 [ per vertex: len uint32, entries uint32... ]
+
+const (
+	persistMagic   = 0x53494D52 // "SIMR"
+	persistVersion = 1
+)
+
+// SaveIndex writes the preprocess results to w.
+func (e *Engine) SaveIndex(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := struct {
+		Magic, Version uint32
+		N, T           uint32
+		C              float64
+		Seed           uint64
+	}{persistMagic, persistVersion, uint32(e.g.N()), uint32(e.p.T), e.p.C, e.p.Seed}
+	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
+		return err
+	}
+	hasGamma := uint8(0)
+	if e.gamma != nil {
+		hasGamma = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hasGamma); err != nil {
+		return err
+	}
+	if hasGamma == 1 {
+		if err := binary.Write(bw, binary.LittleEndian, e.gamma); err != nil {
+			return err
+		}
+	}
+	hasIndex := uint8(0)
+	if e.idx != nil {
+		hasIndex = 1
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hasIndex); err != nil {
+		return err
+	}
+	if hasIndex == 1 {
+		for _, rs := range e.idx.right {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(rs))); err != nil {
+				return err
+			}
+			if len(rs) > 0 {
+				if err := binary.Write(bw, binary.LittleEndian, rs); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadIndex reads preprocess results saved by SaveIndex into a new engine
+// over the same graph. The stored T and n must match; c and seed are
+// informational (a mismatch is rejected because bounds and estimates
+// would be inconsistent).
+func LoadIndex(g *graph.Graph, p Params, r io.Reader) (*Engine, error) {
+	e := New(g, p)
+	br := bufio.NewReader(r)
+	var hdr struct {
+		Magic, Version uint32
+		N, T           uint32
+		C              float64
+		Seed           uint64
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if hdr.Magic != persistMagic {
+		return nil, fmt.Errorf("core: bad index magic %#x", hdr.Magic)
+	}
+	if hdr.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", hdr.Version)
+	}
+	if int(hdr.N) != g.N() {
+		return nil, fmt.Errorf("core: index built for n=%d, graph has n=%d", hdr.N, g.N())
+	}
+	if int(hdr.T) != e.p.T {
+		return nil, fmt.Errorf("core: index built with T=%d, params use T=%d", hdr.T, e.p.T)
+	}
+	if math.Abs(hdr.C-e.p.C) > 1e-12 {
+		return nil, fmt.Errorf("core: index built with c=%v, params use c=%v", hdr.C, e.p.C)
+	}
+	var hasGamma uint8
+	if err := binary.Read(br, binary.LittleEndian, &hasGamma); err != nil {
+		return nil, fmt.Errorf("core: reading gamma flag: %w", err)
+	}
+	if hasGamma == 1 {
+		e.gamma = make([]float32, g.N()*e.p.T)
+		if err := binary.Read(br, binary.LittleEndian, e.gamma); err != nil {
+			return nil, fmt.Errorf("core: reading gamma table: %w", err)
+		}
+		for _, v := range e.gamma {
+			if v < 0 || v > 1.0001 || math.IsNaN(float64(v)) {
+				return nil, fmt.Errorf("core: corrupt gamma table (entry %v)", v)
+			}
+		}
+	}
+	var hasIndex uint8
+	if err := binary.Read(br, binary.LittleEndian, &hasIndex); err != nil {
+		return nil, fmt.Errorf("core: reading index flag: %w", err)
+	}
+	if hasIndex == 1 {
+		idx := &candidateIndex{right: make([][]uint32, g.N())}
+		for v := 0; v < g.N(); v++ {
+			var ln uint32
+			if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+				return nil, fmt.Errorf("core: reading index entry %d: %w", v, err)
+			}
+			if int(ln) > g.N() {
+				return nil, fmt.Errorf("core: corrupt index entry %d (len %d)", v, ln)
+			}
+			if ln == 0 {
+				continue
+			}
+			rs := make([]uint32, ln)
+			if err := binary.Read(br, binary.LittleEndian, rs); err != nil {
+				return nil, fmt.Errorf("core: reading index entry %d: %w", v, err)
+			}
+			for _, w := range rs {
+				if int(w) >= g.N() {
+					return nil, fmt.Errorf("core: corrupt index entry %d (vertex %d)", v, w)
+				}
+			}
+			idx.right[v] = rs
+		}
+		idx.buildInverted(g.N())
+		e.idx = idx
+	}
+	e.stats.IndexBytes = int64(len(e.gamma)) * 4
+	if e.idx != nil {
+		e.stats.IndexBytes += e.idx.bytes()
+	}
+	return e, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := graph.CopyingModel(300, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Seed = 7
+	p.Workers = 2
+	e := Build(g, p)
+
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadIndex(g, p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gamma tables identical.
+	if len(e2.gamma) != len(e.gamma) {
+		t.Fatalf("gamma length %d vs %d", len(e2.gamma), len(e.gamma))
+	}
+	for i := range e.gamma {
+		if e.gamma[i] != e2.gamma[i] {
+			t.Fatalf("gamma[%d] differs", i)
+		}
+	}
+	// Index entries identical.
+	for v := range e.idx.right {
+		a, b := e.idx.right[v], e2.idx.right[v]
+		if len(a) != len(b) {
+			t.Fatalf("index entry %d length differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("index entry %d differs", v)
+			}
+		}
+	}
+	// Queries identical.
+	for u := uint32(0); u < 20; u++ {
+		ra := e.TopK(u, 5)
+		rb := e2.TopK(u, 5)
+		if len(ra) != len(rb) {
+			t.Fatalf("u=%d: result lengths differ", u)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("u=%d: results differ: %v vs %v", u, ra[i], rb[i])
+			}
+		}
+	}
+	if e2.Stats().IndexBytes <= 0 {
+		t.Fatal("loaded engine missing stats")
+	}
+}
+
+func TestLoadIndexRejectsMismatch(t *testing.T) {
+	g := graph.CopyingModel(100, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(g, p)
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	// Wrong graph size.
+	g2 := graph.CopyingModel(101, 4, 0.3, 5)
+	if _, err := LoadIndex(g2, p, bytes.NewReader(saved)); err == nil {
+		t.Fatal("expected error for n mismatch")
+	}
+	// Wrong T.
+	pt := p
+	pt.T = 7
+	if _, err := LoadIndex(g, pt, bytes.NewReader(saved)); err == nil {
+		t.Fatal("expected error for T mismatch")
+	}
+	// Wrong c.
+	pc := p
+	pc.C = 0.8
+	if _, err := LoadIndex(g, pc, bytes.NewReader(saved)); err == nil {
+		t.Fatal("expected error for c mismatch")
+	}
+	// Garbage input.
+	if _, err := LoadIndex(g, p, strings.NewReader("not an index")); err == nil {
+		t.Fatal("expected error for garbage")
+	}
+	// Truncated input.
+	if _, err := LoadIndex(g, p, bytes.NewReader(saved[:len(saved)/2])); err == nil {
+		t.Fatal("expected error for truncation")
+	}
+}
+
+// failingWriter errors after n bytes.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errInjected
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errInjected
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errInjected = &injectedError{}
+
+type injectedError struct{}
+
+func (*injectedError) Error() string { return "injected failure" }
+
+func TestSaveIndexWriteFailure(t *testing.T) {
+	g := graph.CopyingModel(200, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(g, p)
+	for _, budget := range []int{0, 8, 40, 2000} {
+		if err := e.SaveIndex(&failingWriter{n: budget}); err == nil {
+			t.Fatalf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+func TestSaveLoadUnpreprocessedEngine(t *testing.T) {
+	g := graph.CopyingModel(100, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := New(g, p) // no preprocess at all
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadIndex(g, p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.gamma != nil || e2.idx != nil {
+		t.Fatal("empty engine round-trip produced artifacts")
+	}
+}
+
+func TestSaveLoadWithoutGamma(t *testing.T) {
+	g := graph.CopyingModel(100, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	p.DisableL2 = true // no gamma computed
+	e := Build(g, p)
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadIndex(g, p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.gamma != nil {
+		t.Fatal("gamma should be absent")
+	}
+	if e2.idx == nil {
+		t.Fatal("index should be present")
+	}
+}

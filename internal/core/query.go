@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// QueryStats reports what the pruning machinery did during one query;
+// used by the ablation experiments and tests.
+type QueryStats struct {
+	// Candidates enumerated before pruning.
+	Candidates int
+	// PrunedByBound were cut by the L1/L2/distance upper bounds.
+	PrunedByBound int
+	// PrunedByRough were cut after the rough adaptive estimate.
+	PrunedByRough int
+	// Refined received the full RScore estimate.
+	Refined int
+}
+
+// TopK answers Problem 1: the k vertices most similar to u, best first.
+// Requires a preprocessed engine (see Build).
+func (e *Engine) TopK(u uint32, k int) []Scored {
+	res, _ := e.TopKStats(u, k)
+	return res
+}
+
+// TopKStats is TopK plus pruning statistics.
+func (e *Engine) TopKStats(u uint32, k int) ([]Scored, QueryStats) {
+	return e.search(u, k, e.p.Theta)
+}
+
+// Threshold returns every vertex whose estimated score is at least theta,
+// best first. This is the query mode used by the accuracy experiment
+// (Section 8.2), where the paper counts recovered "high score" vertices.
+func (e *Engine) Threshold(u uint32, theta float64) []Scored {
+	res, _ := e.search(u, 0, theta)
+	return res
+}
+
+// search implements Algorithm 5 (QUERY). k == 0 means unlimited.
+func (e *Engine) search(u uint32, k int, theta float64) ([]Scored, QueryStats) {
+	var stats QueryStats
+	r := e.queryRNG(u)
+
+	// Local distances around the query, used by the L1 and distance
+	// bounds and by the ball candidate strategies. The ball budget keeps
+	// this BFS local on high-expansion graphs; truncation only weakens
+	// the L1/distance bounds (candidates fall back to L2), never
+	// correctness.
+	dist, truncated := e.g.UndirectedBallBudget(u, e.p.DMax, e.p.BallBudget)
+	exploredRadius := e.p.DMax
+	if truncated {
+		exploredRadius = -1
+		for _, d := range dist {
+			if int(d) > exploredRadius {
+				exploredRadius = int(d)
+			}
+		}
+		exploredRadius-- // the deepest discovered level may be incomplete
+	}
+
+	// One batch of RAlpha walks from u serves double duty: Algorithm 2's
+	// α/β table and the u-side distribution of every candidate's
+	// single-pair estimate. In exact-scoring mode the sampled
+	// distribution is replaced by the true sparse one when its support
+	// stays under the cap.
+	var wd *walkDist
+	exactU := false
+	if e.p.ExactScoring {
+		if xd := e.exactWalkDist(u, e.p.ExactSupportCap); xd != nil {
+			wd, exactU = xd, true
+		}
+	}
+	if wd == nil {
+		wd = e.sampleWalkDist(u, e.p.RAlpha, r)
+	}
+	var l1 *l1Table
+	if !e.p.DisableL1 {
+		l1 = e.computeL1From(wd, dist, exploredRadius)
+	}
+
+	cands := e.collectCandidates(u, dist)
+	stats.Candidates = len(cands)
+
+	// Upper-bound each candidate and process in descending bound order,
+	// so the scan can stop at the first bound below the pruning floor.
+	type bounded struct {
+		v  uint32
+		ub float64
+	}
+	bs := make([]bounded, 0, len(cands))
+	for _, v := range cands {
+		ub := math.Inf(1)
+		if d, ok := dist[v]; ok {
+			if b := e.DistanceBound(int(d)); b < ub {
+				ub = b
+			}
+			if b := l1.bound(int(d)); b < ub {
+				ub = b
+			}
+		}
+		if !e.p.DisableL2 && e.gamma != nil {
+			if b := e.L2Bound(u, v); b < ub {
+				ub = b
+			}
+		}
+		bs = append(bs, bounded{v, ub})
+	}
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].ub != bs[j].ub {
+			return bs[i].ub > bs[j].ub
+		}
+		return bs[i].v < bs[j].v
+	})
+
+	acc := newTopKAcc(k)
+	if k == 0 {
+		acc = newTopKAcc(len(bs)) // unlimited: keep everything above theta
+	}
+	for i, b := range bs {
+		floor := theta
+		if k > 0 && acc.kth() > floor {
+			floor = acc.kth()
+		}
+		if b.ub < floor {
+			stats.PrunedByBound += len(bs) - i
+			break
+		}
+		var score float64
+		scored := false
+		if exactU {
+			// Deterministic scoring: propagate the candidate side
+			// exactly too when its support allows it.
+			if yd := e.exactWalkDist(b.v, e.p.ExactSupportCap); yd != nil {
+				score = e.dotSeries(wd, yd)
+				scored = true
+				stats.Refined++
+			}
+		}
+		if scored {
+			// fall through to the threshold check below
+		} else if e.p.DisableAdaptive {
+			score = e.singlePairOneSided(wd, b.v, e.p.RScore, r)
+			stats.Refined++
+		} else {
+			// "not small" (paper §7.2): keep the candidate when the
+			// rough estimate reaches 0.3x the pruning floor — at
+			// RRough = 10 the estimate is noisy, and a tighter cut
+			// measurably costs recall on borderline candidates.
+			rough := e.singlePairOneSided(wd, b.v, e.p.RRough, r)
+			if rough < 0.3*floor {
+				stats.PrunedByRough++
+				continue
+			}
+			score = e.singlePairOneSided(wd, b.v, e.p.RScore, r)
+			stats.Refined++
+		}
+		if score >= theta {
+			acc.add(Scored{b.v, score})
+		}
+	}
+	return acc.result(), stats
+}
+
+// collectCandidates enumerates candidate vertices for the query according
+// to Params.Strategy.
+func (e *Engine) collectCandidates(u uint32, dist map[uint32]int32) []uint32 {
+	seen := make(map[uint32]struct{}, 64)
+	var out []uint32
+	switch e.p.Strategy {
+	case CandidatesIndex:
+		out = e.idx.candidates(u, seen, out)
+	case CandidatesBall:
+		for v := range dist {
+			if v != u {
+				out = append(out, v)
+			}
+		}
+	case CandidatesHybrid:
+		out = e.idx.candidates(u, seen, out)
+		for v, d := range dist {
+			if v == u || d > 2 {
+				continue
+			}
+			if _, ok := seen[v]; ok {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Dead marks a random walk that reached a vertex with no in-links and
+// stopped (its probability mass left the graph, matching Pᵗe_u losing
+// mass at dangling vertices).
+const Dead = graph.NoVertex
+
+// walkSet is a bundle of R simultaneous in-link random walks. It is the
+// Monte-Carlo workhorse shared by Algorithms 1–4.
+type walkSet struct {
+	g   *graph.Graph
+	r   *rng.Source
+	pos []uint32
+}
+
+// newWalkSet starts R walks at vertex u.
+func newWalkSet(g *graph.Graph, r *rng.Source, u uint32, R int) *walkSet {
+	ws := &walkSet{g: g, r: r, pos: make([]uint32, R)}
+	for i := range ws.pos {
+		ws.pos[i] = u
+	}
+	return ws
+}
+
+// reset restarts all walks at u.
+func (ws *walkSet) reset(u uint32) {
+	for i := range ws.pos {
+		ws.pos[i] = u
+	}
+}
+
+// step advances every live walk one in-link step; walks at vertices with
+// no in-links die.
+func (ws *walkSet) step() {
+	for i, v := range ws.pos {
+		if v == Dead {
+			continue
+		}
+		in := ws.g.In(v)
+		if len(in) == 0 {
+			ws.pos[i] = Dead
+			continue
+		}
+		ws.pos[i] = in[ws.r.Uint32n(uint32(len(in)))]
+	}
+}
+
+// counts tallies live walk positions into the supplied map, which is
+// cleared first. The map estimates R·Pᵗe_u.
+func (ws *walkSet) counts(into map[uint32]int32) {
+	clear(into)
+	for _, v := range ws.pos {
+		if v != Dead {
+			into[v]++
+		}
+	}
+}
+
+// alive reports the number of live walks.
+func (ws *walkSet) alive() int {
+	n := 0
+	for _, v := range ws.pos {
+		if v != Dead {
+			n++
+		}
+	}
+	return n
+}
+
+// singleWalk performs one walk of length T from u, recording the position
+// at every step into out (len T+1, out[0] = u; dead steps are Dead).
+func singleWalk(g *graph.Graph, r *rng.Source, u uint32, T int, out []uint32) {
+	out[0] = u
+	v := u
+	for t := 1; t <= T; t++ {
+		if v != Dead {
+			in := g.In(v)
+			if len(in) == 0 {
+				v = Dead
+			} else {
+				v = in[r.Uint32n(uint32(len(in)))]
+			}
+		}
+		out[t] = v
+	}
+}

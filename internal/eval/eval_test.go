@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrecisionAtK(t *testing.T) {
+	got := Ranking{1, 2, 3, 4}
+	want := Ranking{2, 1, 9, 8}
+	if p := PrecisionAtK(got, want, 2); p != 1 {
+		t.Fatalf("p@2 = %v", p) // {1,2} vs {2,1}
+	}
+	if p := PrecisionAtK(got, want, 4); p != 0.5 {
+		t.Fatalf("p@4 = %v", p) // {1,2,3,4} vs {2,1,9,8} -> 2/4
+	}
+	if p := PrecisionAtK(got, want, 0); p != 0 {
+		t.Fatalf("p@0 = %v", p)
+	}
+	// k clamps to len(want).
+	if p := PrecisionAtK(Ranking{2}, Ranking{2}, 5); p != 1 {
+		t.Fatalf("clamped p = %v", p)
+	}
+	if p := PrecisionAtK(Ranking{}, Ranking{1, 2}, 2); p != 0 {
+		t.Fatalf("empty got p = %v", p)
+	}
+}
+
+func TestRecallOfSet(t *testing.T) {
+	want := map[uint32]struct{}{1: {}, 2: {}, 3: {}}
+	if r := RecallOfSet(Ranking{1, 3, 9}, want); math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", r)
+	}
+	if r := RecallOfSet(Ranking{}, map[uint32]struct{}{}); r != 1 {
+		t.Fatalf("empty-want recall = %v", r)
+	}
+}
+
+func TestNDCGPerfectAndWorst(t *testing.T) {
+	rel := map[uint32]float64{1: 3, 2: 2, 3: 1}
+	if n := NDCGAtK(Ranking{1, 2, 3}, rel, 3); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("perfect NDCG = %v", n)
+	}
+	worst := NDCGAtK(Ranking{3, 2, 1}, rel, 3)
+	if worst >= 1 || worst <= 0 {
+		t.Fatalf("reversed NDCG = %v", worst)
+	}
+	if n := NDCGAtK(Ranking{9, 8}, rel, 2); n != 0 {
+		t.Fatalf("irrelevant NDCG = %v", n)
+	}
+	if n := NDCGAtK(Ranking{1}, map[uint32]float64{}, 3); n != 0 {
+		t.Fatalf("empty rel NDCG = %v", n)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := Ranking{1, 2, 3, 4}
+	if tau, err := KendallTau(a, a); err != nil || tau != 1 {
+		t.Fatalf("identical tau = %v err %v", tau, err)
+	}
+	rev := Ranking{4, 3, 2, 1}
+	if tau, err := KendallTau(a, rev); err != nil || tau != -1 {
+		t.Fatalf("reversed tau = %v err %v", tau, err)
+	}
+	// Partial overlap: common items {2,3} in same order.
+	if tau, err := KendallTau(Ranking{2, 3, 9}, Ranking{8, 2, 3}); err != nil || tau != 1 {
+		t.Fatalf("partial tau = %v err %v", tau, err)
+	}
+	if _, err := KendallTau(Ranking{1}, Ranking{2}); err == nil {
+		t.Fatal("expected error for <2 common items")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if o := Overlap(Ranking{1, 2}, Ranking{2, 3}); math.Abs(o-1.0/3) > 1e-12 {
+		t.Fatalf("overlap = %v", o)
+	}
+	if o := Overlap(Ranking{}, Ranking{}); o != 1 {
+		t.Fatalf("empty overlap = %v", o)
+	}
+	if o := Overlap(Ranking{1}, Ranking{1}); o != 1 {
+		t.Fatalf("identical overlap = %v", o)
+	}
+	// Duplicates in b are ignored.
+	if o := Overlap(Ranking{1, 2}, Ranking{1, 1, 2}); o != 1 {
+		t.Fatalf("dup overlap = %v", o)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	type scored struct {
+		V     uint32
+		Score float64
+	}
+	r := Collect([]scored{{5, 0.9}, {3, 0.1}}, func(s scored) uint32 { return s.V })
+	if len(r) != 2 || r[0] != 5 || r[1] != 3 {
+		t.Fatalf("Collect = %v", r)
+	}
+}

@@ -1,0 +1,63 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkPartialSumsAllPairs(b *testing.B) {
+	g := graph.Collaboration(300, 4, 0.85, 40, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartialSumsAllPairs(g, 0.6, 11)
+	}
+}
+
+func BenchmarkNaiveAllPairs(b *testing.B) {
+	g := graph.ErdosRenyi(100, 400, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveAllPairs(g, 0.6, 11)
+	}
+}
+
+func BenchmarkSingleSourceSeries(b *testing.B) {
+	g := graph.CopyingModel(20000, 8, 0.3, 1)
+	d := UniformDiagonal(g.N(), 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SingleSource(g, d, 0.6, 11, uint32(i%g.N()))
+	}
+}
+
+func BenchmarkSinglePairSeries(b *testing.B) {
+	g := graph.CopyingModel(20000, 8, 0.3, 1)
+	d := UniformDiagonal(g.N(), 0.6)
+	n := uint32(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SinglePair(g, d, 0.6, 11, uint32(i)%n, uint32(i*7+3)%n)
+	}
+}
+
+func BenchmarkSinglePairSurfer(b *testing.B) {
+	// The pair-chain frontier grows with d², so keep this one small:
+	// it is an oracle, not a production path.
+	g := graph.ErdosRenyi(200, 500, 2)
+	n := uint32(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SinglePairSurfer(g, 0.6, 8, uint32(i)%n, uint32(i*7+3)%n)
+	}
+}
+
+func BenchmarkExactDiagonalSparse(b *testing.B) {
+	g := graph.Collaboration(150, 4, 0.85, 20, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := ExactDiagonalSparse(g, 0.6, DiagOptions{T: 11, MaxIters: 10, Tol: 1e-5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

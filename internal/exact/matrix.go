@@ -1,0 +1,162 @@
+// Package exact implements reference SimRank computations used as ground
+// truth and as classic baselines: the naive Jeh–Widom all-pairs iteration,
+// the Lizorkin partial-sums variant, the truncated linear-series evaluation
+// of the paper's formulation (Section 3.2), and exact computation of the
+// diagonal correction matrix D.
+//
+// Everything here is deterministic and, except for the single-source
+// series (which is linear in the graph size), quadratic or worse in n; the
+// package is intended for small graphs where exact answers are feasible.
+package exact
+
+import "repro/internal/graph"
+
+// Matrix is a dense square row-major matrix.
+type Matrix struct {
+	N    int
+	Data []float64
+}
+
+// NewMatrix returns an N x N zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Row returns row i as a slice view.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.N : (i+1)*m.N] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Identity returns the N x N identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// MaxAbsDiff returns the largest absolute entry-wise difference.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	max := 0.0
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// leftMulPT computes A = Pᵀ S, where P is the SimRank transition matrix of
+// g (column u of P is the uniform distribution over the in-neighbours of
+// u). Row j of the result is the average of S's rows over In(j); rows of
+// vertices with no in-links are zero.
+func leftMulPT(g *graph.Graph, s *Matrix) *Matrix {
+	n := s.N
+	out := NewMatrix(n)
+	for j := 0; j < n; j++ {
+		in := g.In(uint32(j))
+		if len(in) == 0 {
+			continue
+		}
+		row := out.Row(j)
+		inv := 1.0 / float64(len(in))
+		for _, i := range in {
+			src := s.Row(int(i))
+			for k := 0; k < n; k++ {
+				row[k] += src[k]
+			}
+		}
+		for k := 0; k < n; k++ {
+			row[k] *= inv
+		}
+	}
+	return out
+}
+
+// rightMulP computes B = A P: column v of the result is the average of A's
+// columns over In(v).
+func rightMulP(g *graph.Graph, a *Matrix) *Matrix {
+	n := a.N
+	out := NewMatrix(n)
+	for v := 0; v < n; v++ {
+		in := g.In(uint32(v))
+		if len(in) == 0 {
+			continue
+		}
+		inv := 1.0 / float64(len(in))
+		for r := 0; r < n; r++ {
+			row := a.Row(r)
+			sum := 0.0
+			for _, k := range in {
+				sum += row[int(k)]
+			}
+			out.Set(r, v, sum*inv)
+		}
+	}
+	return out
+}
+
+// PTSP computes c · Pᵀ S P using the two-phase sparse-dense product. This
+// is the partial-sums evaluation of Lizorkin et al.: the intermediate
+// Pᵀ S memoizes row sums shared across all target pairs.
+func PTSP(g *graph.Graph, s *Matrix, c float64) *Matrix {
+	b := rightMulP(g, leftMulPT(g, s))
+	for i := range b.Data {
+		b.Data[i] *= c
+	}
+	return b
+}
+
+// ApplyP computes y = P x for a dense vector: one backward random-walk
+// step of probability mass. y[i] = Σ_{u ∈ Out(i)} x[u]/indeg(u).
+func ApplyP(g *graph.Graph, x []float64) []float64 {
+	y := make([]float64, len(x))
+	for u := 0; u < len(x); u++ {
+		xv := x[u]
+		if xv == 0 {
+			continue
+		}
+		in := g.In(uint32(u))
+		if len(in) == 0 {
+			continue
+		}
+		share := xv / float64(len(in))
+		for _, i := range in {
+			y[i] += share
+		}
+	}
+	return y
+}
+
+// ApplyPT computes y = Pᵀ z: y[j] is the average of z over In(j).
+func ApplyPT(g *graph.Graph, z []float64) []float64 {
+	y := make([]float64, len(z))
+	for j := range y {
+		in := g.In(uint32(j))
+		if len(in) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, i := range in {
+			sum += z[i]
+		}
+		y[j] = sum / float64(len(in))
+	}
+	return y
+}

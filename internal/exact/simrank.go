@@ -1,0 +1,247 @@
+package exact
+
+import "repro/internal/graph"
+
+// NaiveAllPairs computes SimRank by evaluating the defining recursion (1)
+// of Jeh and Widom directly: for every pair (u, v), average S over all
+// in-neighbour pairs. O(T·n²·d²) time, O(n²) space. Intended only for tiny
+// graphs and as an oracle for the faster implementations.
+func NaiveAllPairs(g *graph.Graph, c float64, iters int) *Matrix {
+	n := g.N()
+	s := Identity(n)
+	for it := 0; it < iters; it++ {
+		next := NewMatrix(n)
+		for u := 0; u < n; u++ {
+			next.Set(u, u, 1)
+			inU := g.In(uint32(u))
+			if len(inU) == 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if v == u {
+					continue
+				}
+				inV := g.In(uint32(v))
+				if len(inV) == 0 {
+					continue
+				}
+				sum := 0.0
+				for _, a := range inU {
+					row := s.Row(int(a))
+					for _, b := range inV {
+						sum += row[int(b)]
+					}
+				}
+				next.Set(u, v, c*sum/float64(len(inU)*len(inV)))
+			}
+		}
+		s = next
+	}
+	return s
+}
+
+// PartialSumsAllPairs computes SimRank with the Lizorkin et al. partial
+// sums technique: the iteration S ← (c·Pᵀ S P) ∨ I evaluated as two
+// sparse-dense products so that per-source partial sums are shared.
+// O(T·n·m) time, O(n²) space. Converges to the same fixed point as
+// NaiveAllPairs (they are compared in the tests).
+func PartialSumsAllPairs(g *graph.Graph, c float64, iters int) *Matrix {
+	s := Identity(g.N())
+	for it := 0; it < iters; it++ {
+		s = PTSP(g, s, c)
+		for i := 0; i < s.N; i++ {
+			s.Set(i, i, 1)
+		}
+	}
+	return s
+}
+
+// AllPairs computes (converged) SimRank with the default number of
+// iterations for the given decay factor so the truncation error is below
+// eps: T = ceil(log(eps(1-c))/log c), the same rule as eq. (10).
+func AllPairs(g *graph.Graph, c, eps float64) *Matrix {
+	return PartialSumsAllPairs(g, c, IterationsFor(c, eps))
+}
+
+// IterationsFor returns the number of series terms / iterations needed for
+// truncation error below eps at decay factor c (eq. 10 of the paper).
+func IterationsFor(c, eps float64) int {
+	t := 0
+	bound := 1.0 / (1.0 - c)
+	for bound > eps {
+		bound *= c
+		t++
+		if t > 200 {
+			break
+		}
+	}
+	return t
+}
+
+// ExactDiagonal computes the diagonal correction matrix D of the linear
+// formulation S = c·Pᵀ S P + D (eq. 5): it converges the Jeh–Widom
+// iteration and returns diag(S − c·Pᵀ S P). By Proposition 2, every entry
+// lies in [1−c, 1].
+func ExactDiagonal(g *graph.Graph, c float64, iters int) []float64 {
+	s := PartialSumsAllPairs(g, c, iters)
+	b := PTSP(g, s, c)
+	d := make([]float64, g.N())
+	for i := range d {
+		d[i] = s.At(i, i) - b.At(i, i)
+	}
+	return d
+}
+
+// UniformDiagonal returns the approximation D = (1−c)·I used throughout
+// the paper (Section 3.3).
+func UniformDiagonal(n int, c float64) []float64 {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1 - c
+	}
+	return d
+}
+
+// SeriesAllPairs evaluates the truncated linear series (7)
+//
+//	S = Σ_{t=0}^{T-1} cᵗ (Pᵗ)ᵀ D Pᵗ
+//
+// densely via the Horner recursion S ← diag(d) + c·Pᵀ S P. With the exact
+// diagonal correction this reproduces SimRank (Proposition 1); with
+// D = (1−c)·I it yields the paper's "approximate SimRank".
+func SeriesAllPairs(g *graph.Graph, d []float64, c float64, T int) *Matrix {
+	n := g.N()
+	s := NewMatrix(n)
+	setDiag := func(m *Matrix) {
+		for i := 0; i < n; i++ {
+			m.Data[i*n+i] += d[i]
+		}
+	}
+	setDiag(s)
+	for t := 1; t < T; t++ {
+		s = PTSP(g, s, c)
+		setDiag(s)
+	}
+	return s
+}
+
+// SingleSource evaluates the truncated series for one query vertex u and
+// every target, in O(T·(n+m)) time and O(n) space:
+//
+//	s_u = Σ_{t=0}^{T-1} cᵗ (Pᵀ)ᵗ (d ⊙ xₜ),   xₜ = Pᵗ e_u
+//
+// evaluated with a Horner recursion from t = T−1 down to 0. This is the
+// deterministic algorithm of Section 3.2 and the ground truth used in the
+// accuracy experiments (Section 8.2).
+func SingleSource(g *graph.Graph, d []float64, c float64, T int, u uint32) []float64 {
+	n := g.N()
+	// Forward pass: all walk distributions xₜ.
+	xs := make([][]float64, T)
+	x0 := make([]float64, n)
+	x0[u] = 1
+	xs[0] = x0
+	for t := 1; t < T; t++ {
+		xs[t] = ApplyP(g, xs[t-1])
+	}
+	// Backward Horner pass: r ← (d ⊙ xₜ) + c·Pᵀ r.
+	r := make([]float64, n)
+	for t := T - 1; t >= 0; t-- {
+		if t < T-1 {
+			r = ApplyPT(g, r)
+		}
+		xt := xs[t]
+		for i := 0; i < n; i++ {
+			if t < T-1 {
+				r[i] = d[i]*xt[i] + c*r[i]
+			} else {
+				r[i] = d[i] * xt[i]
+			}
+		}
+	}
+	return r
+}
+
+// SinglePair evaluates the truncated series for one pair (u, v):
+//
+//	s⁽ᵀ⁾(u,v) = Σ_t cᵗ Σ_w xₜ(w)·d_w·yₜ(w)
+//
+// with xₜ, yₜ the walk distributions from u and v.
+func SinglePair(g *graph.Graph, d []float64, c float64, T int, u, v uint32) float64 {
+	n := g.N()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	x[u], y[v] = 1, 1
+	sum := 0.0
+	ct := 1.0
+	for t := 0; t < T; t++ {
+		if t > 0 {
+			x = ApplyP(g, x)
+			y = ApplyP(g, y)
+			ct *= c
+		}
+		dot := 0.0
+		for w := 0; w < n; w++ {
+			if x[w] != 0 && y[w] != 0 {
+				dot += x[w] * d[w] * y[w]
+			}
+		}
+		sum += ct * dot
+	}
+	return sum
+}
+
+// TopK returns the k vertices with the highest scores[v], excluding the
+// query vertex itself, in descending score order (ties broken by vertex
+// ID for determinism).
+func TopK(scores []float64, u uint32, k int) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Scored, 0, k)
+	for v, s := range scores {
+		if uint32(v) == u {
+			continue
+		}
+		if len(out) < k {
+			out = append(out, Scored{uint32(v), s})
+			if len(out) == k {
+				sortScored(out)
+			}
+			continue
+		}
+		if less(out[k-1], Scored{uint32(v), s}) {
+			out[k-1] = Scored{uint32(v), s}
+			// Bubble up.
+			for i := k - 1; i > 0 && less(out[i-1], out[i]); i-- {
+				out[i-1], out[i] = out[i], out[i-1]
+			}
+		}
+	}
+	if len(out) < k {
+		sortScored(out)
+	}
+	return out
+}
+
+// Scored pairs a vertex with its similarity score.
+type Scored struct {
+	V     uint32
+	Score float64
+}
+
+// less orders by score descending, then vertex ID ascending.
+func less(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.V > b.V
+}
+
+func sortScored(xs []Scored) {
+	// Insertion sort: k is small.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j-1], xs[j]); j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+const (
+	testC = 0.8
+	testT = 25 // enough iterations for tight convergence at c=0.8
+)
+
+// claw is the star graph of order 4 from Example 1 of the paper.
+func claw() *graph.Graph { return graph.Star(4) }
+
+func TestExample1ClawSimRank(t *testing.T) {
+	// The paper gives exact SimRank for the claw at c = 0.8:
+	// s(leaf_i, leaf_j) = 4/5 for distinct leaves, s(0, leaf) = 0.
+	s := PartialSumsAllPairs(claw(), 0.8, 60)
+	for i := 1; i <= 3; i++ {
+		for j := 1; j <= 3; j++ {
+			want := 1.0
+			if i != j {
+				want = 4.0 / 5.0
+			}
+			if got := s.At(i, j); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("s(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+		if got := s.At(0, i); math.Abs(got) > 1e-9 {
+			t.Fatalf("s(0,%d) = %v, want 0", i, got)
+		}
+	}
+}
+
+func TestExample1ClawDiagonal(t *testing.T) {
+	// The paper: D = diag(23/75, 1/5, 1/5, 1/5) for the claw at c = 0.8.
+	d := ExactDiagonal(claw(), 0.8, 60)
+	want := []float64{23.0 / 75.0, 0.2, 0.2, 0.2}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-9 {
+			t.Fatalf("D[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestCompleteGraphClosedForm(t *testing.T) {
+	// On K_n every off-diagonal SimRank value is equal by symmetry.
+	// Two walks at distinct vertices step to a common vertex with
+	// probability p = (n-2)/(n-1)² (the common choice must avoid both
+	// current positions), so s = c·p + c·(1-p)·s, giving
+	// s = c·p / (1 - c·(1-p)).
+	for _, n := range []int{3, 4, 6, 9} {
+		for _, c := range []float64{0.6, 0.8} {
+			g := graph.Complete(n)
+			s := PartialSumsAllPairs(g, c, 120)
+			p := float64(n-2) / float64((n-1)*(n-1))
+			want := c * p / (1 - c*(1-p))
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					if math.Abs(s.At(i, j)-want) > 1e-9 {
+						t.Fatalf("K_%d c=%v: s(%d,%d)=%v, want %v", n, c, i, j, s.At(i, j), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStarLeavesClosedForm(t *testing.T) {
+	// In the undirected star, two leaves have s = c·s(hub,hub) = c.
+	for _, n := range []int{4, 7, 12} {
+		for _, c := range []float64{0.6, 0.8} {
+			s := PartialSumsAllPairs(graph.Star(n), c, 80)
+			for i := 1; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if math.Abs(s.At(i, j)-c) > 1e-9 {
+						t.Fatalf("star(%d) c=%v: s(%d,%d)=%v, want %v", n, c, i, j, s.At(i, j), c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTwoLevelStarClosedForm(t *testing.T) {
+	// Bipartite double star: two hubs a, b each pointing at by k shared
+	// leaves... simpler documented case: two vertices u, v with the
+	// same single in-neighbour w have s(u,v) = c·s(w,w) = c.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1) // w -> u
+	b.AddEdge(0, 2) // w -> v
+	g := b.Build()
+	s := PartialSumsAllPairs(g, 0.6, 40)
+	if math.Abs(s.At(1, 2)-0.6) > 1e-12 {
+		t.Fatalf("shared-parent pair: %v, want 0.6", s.At(1, 2))
+	}
+}
+
+func TestNaiveMatchesPartialSums(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		g := graph.ErdosRenyi(25, 80, seed)
+		a := NaiveAllPairs(g, testC, 12)
+		b := PartialSumsAllPairs(g, testC, 12)
+		if diff := MaxAbsDiff(a, b); diff > 1e-12 {
+			t.Fatalf("seed %d: naive vs partial sums differ by %v", seed, diff)
+		}
+	}
+}
+
+func TestSimRankInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(20)
+		g := graph.ErdosRenyi(n, 3*n, seed)
+		s := PartialSumsAllPairs(g, testC, 15)
+		for i := 0; i < n; i++ {
+			if s.At(i, i) != 1 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				v := s.At(i, j)
+				if v < 0 || v > 1+1e-12 {
+					return false
+				}
+				if math.Abs(v-s.At(j, i)) > 1e-12 { // symmetry
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Proposition 2: 1−c ≤ D_uu ≤ 1.
+func TestDiagonalBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(15)
+		g := graph.ErdosRenyi(n, 3*n, seed)
+		d := ExactDiagonal(g, testC, 40)
+		for _, v := range d {
+			if v < 1-testC-1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Proposition 1: the series with the exact diagonal correction reproduces
+// true SimRank.
+func TestSeriesWithExactDReproducesSimRank(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		g := graph.ErdosRenyi(20, 60, seed)
+		sTrue := PartialSumsAllPairs(g, testC, 80)
+		d := ExactDiagonal(g, testC, 80)
+		sSeries := SeriesAllPairs(g, d, testC, 80)
+		if diff := MaxAbsDiff(sTrue, sSeries); diff > 1e-6 {
+			t.Fatalf("seed %d: series with exact D differs from SimRank by %v", seed, diff)
+		}
+	}
+}
+
+// Equation (10): 0 ≤ s(u,v) − s⁽ᵀ⁾(u,v) ≤ cᵀ/(1−c).
+func TestTruncationErrorBound(t *testing.T) {
+	g := graph.ErdosRenyi(20, 60, 7)
+	d := ExactDiagonal(g, testC, 80)
+	full := SeriesAllPairs(g, d, testC, 80)
+	for _, T := range []int{2, 5, 10} {
+		trunc := SeriesAllPairs(g, d, testC, T)
+		bound := math.Pow(testC, float64(T)) / (1 - testC)
+		for i := range full.Data {
+			diff := full.Data[i] - trunc.Data[i]
+			if diff < -1e-9 || diff > bound+1e-9 {
+				t.Fatalf("T=%d: truncation error %v outside [0, %v]", T, diff, bound)
+			}
+		}
+	}
+}
+
+func TestSingleSourceMatchesAllPairs(t *testing.T) {
+	g := graph.PreferentialAttachment(40, 3, 0.3, 5)
+	d := UniformDiagonal(g.N(), testC)
+	all := SeriesAllPairs(g, d, testC, 11)
+	for _, u := range []uint32{0, 7, 39} {
+		row := SingleSource(g, d, testC, 11, u)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(row[v]-all.At(int(u), v)) > 1e-10 {
+				t.Fatalf("single source (%d,%d): %v vs %v", u, v, row[v], all.At(int(u), v))
+			}
+		}
+	}
+}
+
+func TestSinglePairMatchesSingleSource(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(25)
+		g := graph.ErdosRenyi(n, 3*n, seed)
+		d := UniformDiagonal(n, testC)
+		u := uint32(r.Intn(n))
+		v := uint32(r.Intn(n))
+		row := SingleSource(g, d, testC, 8, u)
+		p := SinglePair(g, d, testC, 8, u, v)
+		return math.Abs(row[v]-p) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDanglingVerticesScoreZero(t *testing.T) {
+	// In a directed star all leaves have no in-links: SimRank between any
+	// two distinct vertices is 0, and the series must agree.
+	g := graph.DirectedStar(5)
+	s := PartialSumsAllPairs(g, testC, 20)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(s.At(i, j)-want) > 1e-12 {
+				t.Fatalf("s(%d,%d) = %v", i, j, s.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCycleSimRank(t *testing.T) {
+	// On a directed n-cycle both walks move deterministically, so they
+	// meet only if they start at the same vertex: s(u,v) = 0 for u != v.
+	s := PartialSumsAllPairs(graph.Cycle(6), testC, 30)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i != j && s.At(i, j) != 0 {
+				t.Fatalf("cycle s(%d,%d) = %v, want 0", i, j, s.At(i, j))
+			}
+		}
+	}
+}
+
+func TestIterationsFor(t *testing.T) {
+	for _, c := range []float64{0.6, 0.8} {
+		for _, eps := range []float64{0.1, 0.01, 1e-4} {
+			T := IterationsFor(c, eps)
+			if math.Pow(c, float64(T))/(1-c) > eps {
+				t.Fatalf("c=%v eps=%v: T=%d insufficient", c, eps, T)
+			}
+			if T > 1 && math.Pow(c, float64(T-1))/(1-c) <= eps {
+				t.Fatalf("c=%v eps=%v: T=%d not minimal", c, eps, T)
+			}
+		}
+	}
+}
+
+func TestApplyPMassConservation(t *testing.T) {
+	// P x preserves total mass except for mass at dangling-in vertices.
+	g := graph.PreferentialAttachment(50, 3, 0.2, 9)
+	x := make([]float64, g.N())
+	x[10] = 1
+	for step := 0; step < 5; step++ {
+		total := 0.0
+		dangling := 0.0
+		for v, m := range x {
+			total += m
+			if g.InDegree(uint32(v)) == 0 {
+				dangling += m
+			}
+		}
+		y := ApplyP(g, x)
+		yTotal := 0.0
+		for _, m := range y {
+			yTotal += m
+		}
+		if math.Abs(yTotal-(total-dangling)) > 1e-12 {
+			t.Fatalf("step %d: mass %v -> %v, expected %v", step, total, yTotal, total-dangling)
+		}
+		x = y
+	}
+}
+
+func TestApplyPTAveraging(t *testing.T) {
+	g := graph.Star(4) // hub 0, leaves 1..3
+	z := []float64{0, 3, 6, 9}
+	y := ApplyPT(g, z)
+	if math.Abs(y[0]-6) > 1e-12 { // average of leaves
+		t.Fatalf("y[0] = %v, want 6", y[0])
+	}
+	for i := 1; i <= 3; i++ {
+		if math.Abs(y[i]-0) > 1e-12 { // In(leaf) = {hub}, z[hub] = 0
+			t.Fatalf("y[%d] = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.5, 0.9, 0.1, 0.9, 0.3}
+	top := TopK(scores, 0, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	// Ties broken by smaller vertex ID first.
+	if top[0].V != 1 || top[1].V != 3 || top[2].V != 4 {
+		t.Fatalf("order = %v", top)
+	}
+	if TopK(scores, 0, 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	all := TopK(scores, 2, 10)
+	if len(all) != 4 {
+		t.Fatalf("k>n returned %d", len(all))
+	}
+}
+
+func TestTopKExcludesQuery(t *testing.T) {
+	scores := []float64{1.0, 0.2}
+	top := TopK(scores, 0, 2)
+	for _, s := range top {
+		if s.V == 0 {
+			t.Fatal("query vertex included")
+		}
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.Row(1)[2] != 5 {
+		t.Fatal("At/Set/Row broken")
+	}
+	c := m.Clone()
+	c.Set(1, 2, 7)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Clone aliases")
+	}
+	i := Identity(3)
+	if i.At(0, 0) != 1 || i.At(0, 1) != 0 {
+		t.Fatal("Identity broken")
+	}
+	if MaxAbsDiff(m, c) != 2 {
+		t.Fatal("MaxAbsDiff broken")
+	}
+}

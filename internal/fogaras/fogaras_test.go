@@ -1,0 +1,258 @@
+package fogaras
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func build(t *testing.T, g *graph.Graph, R int, c float64) *Index {
+	t.Helper()
+	p := DefaultParams()
+	p.R = R
+	p.C = c
+	p.T = 15
+	idx, err := Build(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestSinglePairConvergesToSimRank(t *testing.T) {
+	// E[c^τ] is exactly SimRank (random surfer-pair model), so with many
+	// fingerprints the estimate approaches the converged matrix.
+	g := graph.Collaboration(40, 5, 0.8, 15, 2)
+	idx := build(t, g, 4000, 0.6)
+	truth := exact.PartialSumsAllPairs(g, 0.6, 25)
+	worst := 0.0
+	checked := 0
+	for u := uint32(0); int(u) < g.N(); u += 3 {
+		for v := u + 1; int(v) < g.N(); v += 5 {
+			got := idx.SinglePair(u, v)
+			want := truth.At(int(u), int(v))
+			if d := math.Abs(got - want); d > worst {
+				worst = d
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pairs checked")
+	}
+	if worst > 0.06 {
+		t.Fatalf("worst deviation from exact SimRank: %v", worst)
+	}
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	g := graph.ErdosRenyi(20, 60, 1)
+	idx := build(t, g, 50, 0.6)
+	for v := uint32(0); v < 20; v++ {
+		if idx.SinglePair(v, v) != 1 {
+			t.Fatalf("s(%d,%d) != 1", v, v)
+		}
+	}
+}
+
+func TestCoalescingWalks(t *testing.T) {
+	// Once two fingerprints of the same sample meet, they must stay
+	// together: the successor function depends only on (r, t, position).
+	g := graph.PreferentialAttachment(60, 3, 0.3, 4)
+	idx := build(t, g, 30, 0.6)
+	for u := uint32(0); u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			for r := 0; r < idx.p.R; r++ {
+				pu, pv := idx.path(u, r), idx.path(v, r)
+				met := false
+				for tt := 0; tt < idx.p.T; tt++ {
+					if pu[tt] == Dead || pv[tt] == Dead {
+						break
+					}
+					if met && pu[tt] != pv[tt] {
+						t.Fatalf("walks separated after meeting: u=%d v=%d r=%d t=%d", u, v, r, tt)
+					}
+					if pu[tt] == pv[tt] {
+						met = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSingleSourceMatchesSinglePair(t *testing.T) {
+	g := graph.CopyingModel(80, 4, 0.3, 6)
+	idx := build(t, g, 40, 0.6)
+	u := uint32(7)
+	row := idx.SingleSource(u)
+	for v := uint32(0); int(v) < g.N(); v += 7 {
+		if v == u {
+			continue
+		}
+		if got := idx.SinglePair(u, v); got != row[v] {
+			t.Fatalf("single source (%d,%d): %v vs %v", u, v, row[v], got)
+		}
+	}
+	if row[u] != 1 {
+		t.Fatal("self score not 1")
+	}
+}
+
+// bruteSingleSource is the O(n·R·T) reference the grouped query must
+// match exactly.
+func bruteSingleSource(x *Index, u uint32) []float64 {
+	n := x.g.N()
+	out := make([]float64, n)
+	out[u] = 1
+	for v := uint32(0); int(v) < n; v++ {
+		if v != u {
+			out[v] = x.SinglePair(u, v)
+		}
+	}
+	return out
+}
+
+func TestGroupedSingleSourceMatchesBruteForce(t *testing.T) {
+	g := graph.Collaboration(50, 5, 0.8, 20, 4)
+	idx := build(t, g, 60, 0.6)
+	for _, u := range []uint32{0, 3, 17, uint32(g.N() - 1)} {
+		fast := idx.SingleSource(u)
+		slow := bruteSingleSource(idx, u)
+		for v := range fast {
+			// Summation order differs between the two paths, so allow
+			// last-ULP float drift.
+			if math.Abs(fast[v]-slow[v]) > 1e-12 {
+				t.Fatalf("u=%d v=%d: grouped %v vs brute %v", u, v, fast[v], slow[v])
+			}
+		}
+	}
+}
+
+func TestTerminalKeyGrouping(t *testing.T) {
+	g := graph.CopyingModel(100, 4, 0.3, 3)
+	idx := build(t, g, 20, 0.6)
+	// Two vertices meet in sample r iff their terminal keys match;
+	// cross-check against direct path comparison.
+	for r := 0; r < 5; r++ {
+		for u := uint32(0); u < 30; u++ {
+			for v := u + 1; v < 30; v++ {
+				met := false
+				pu, pv := idx.path(u, r), idx.path(v, r)
+				for tt := 0; tt < idx.p.T; tt++ {
+					if pu[tt] == Dead || pv[tt] == Dead {
+						break
+					}
+					if pu[tt] == pv[tt] {
+						met = true
+						break
+					}
+				}
+				keysEqual := idx.terminalKey(u, r) == idx.terminalKey(v, r)
+				if met != keysEqual {
+					t.Fatalf("u=%d v=%d r=%d: met=%v keysEqual=%v", u, v, r, met, keysEqual)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSortedAndBounded(t *testing.T) {
+	g := graph.Collaboration(60, 5, 0.8, 20, 8)
+	idx := build(t, g, 60, 0.6)
+	res := idx.TopK(0, 5)
+	if len(res) > 5 {
+		t.Fatalf("returned %d", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("unsorted results")
+		}
+	}
+	for _, s := range res {
+		if s.V == 0 {
+			t.Fatal("self in results")
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	g := graph.Collaboration(60, 5, 0.8, 20, 9)
+	idx := build(t, g, 60, 0.6)
+	res := idx.Threshold(1, 0.05)
+	for _, s := range res {
+		if s.Score < 0.05 {
+			t.Fatalf("threshold result below theta: %v", s)
+		}
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	g := graph.ErdosRenyi(1000, 4000, 1)
+	p := DefaultParams()
+	p.MemoryBudget = 1000 // absurdly small
+	_, err := Build(g, p)
+	var mb *ErrMemoryBudget
+	if !errors.As(err, &mb) {
+		t.Fatalf("expected ErrMemoryBudget, got %v", err)
+	}
+	if mb.Need != PredictBytes(g.N(), p) {
+		t.Fatalf("need mismatch: %d vs %d", mb.Need, PredictBytes(g.N(), p))
+	}
+	if mb.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestPredictBytesMatchesActual(t *testing.T) {
+	g := graph.ErdosRenyi(100, 300, 2)
+	p := DefaultParams()
+	idx, err := Build(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Bytes() != PredictBytes(g.N(), p) {
+		t.Fatalf("bytes %d != predicted %d", idx.Bytes(), PredictBytes(g.N(), p))
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	g := graph.ErdosRenyi(10, 20, 1)
+	if _, err := Build(g, Params{C: 0.6, T: 0, R: 10}); err == nil {
+		t.Fatal("expected error for T=0")
+	}
+	if _, err := Build(g, Params{C: 0.6, T: 5, R: 0}); err == nil {
+		t.Fatal("expected error for R=0")
+	}
+}
+
+func TestDanglingWalksNeverMatch(t *testing.T) {
+	g := graph.DirectedStar(5)
+	idx := build(t, g, 100, 0.6)
+	// Leaves have no in-links: their walks die immediately and never
+	// meet anything.
+	if got := idx.SinglePair(1, 2); got != 0 {
+		t.Fatalf("s(1,2) = %v, want 0", got)
+	}
+}
+
+func TestDeterministicAcrossBuilds(t *testing.T) {
+	g := graph.CopyingModel(80, 4, 0.3, 5)
+	p := DefaultParams()
+	a, err := Build(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.paths {
+		if a.paths[i] != b.paths[i] {
+			t.Fatal("fingerprints differ across identical builds")
+		}
+	}
+}

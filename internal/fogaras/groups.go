@@ -1,0 +1,103 @@
+package fogaras
+
+import "sort"
+
+// Coalescing walks meet if and only if they end in the same place: once
+// two fingerprints of the same sample coincide they share the successor
+// function and never separate, so walks u and v of sample r meet within
+// T steps exactly when their terminal signatures — (last alive step,
+// position at that step) — are equal. Grouping vertices by terminal
+// signature at build time makes single-source queries output-sensitive:
+// only the vertices that actually meet the query's walks are touched,
+// mirroring the efficiency of the original fingerprint-tree layout.
+
+// terminalKey packs (last alive step, position) into one comparable key.
+// A walk that dies immediately has la = 0 and position = the start
+// vertex, so it can only ever "meet" itself.
+func (x *Index) terminalKey(v uint32, r int) uint64 {
+	p := x.path(v, r)
+	la := 0
+	pos := v
+	for t := x.p.T - 1; t >= 0; t-- {
+		if p[t] != Dead {
+			la = t + 1
+			pos = p[t]
+			break
+		}
+	}
+	return uint64(la)<<32 | uint64(pos)
+}
+
+// sampleGroups holds, for one sample r, the vertex IDs sorted by terminal
+// key, with a parallel sorted key array for binary search.
+type sampleGroups struct {
+	keys []uint64 // sorted
+	ids  []uint32 // ids[i] has terminal key keys[i]
+}
+
+// buildGroups constructs the per-sample terminal-signature groups.
+func (x *Index) buildGroups() {
+	n := x.g.N()
+	x.groups = make([]sampleGroups, x.p.R)
+	for r := 0; r < x.p.R; r++ {
+		keys := make([]uint64, n)
+		ids := make([]uint32, n)
+		for v := 0; v < n; v++ {
+			keys[v] = x.terminalKey(uint32(v), r)
+			ids[v] = uint32(v)
+		}
+		sort.Sort(&keyIDSorter{keys, ids})
+		x.groups[r] = sampleGroups{keys: keys, ids: ids}
+	}
+}
+
+// group returns the vertices sharing the given terminal key in sample r.
+func (g *sampleGroups) group(key uint64) []uint32 {
+	lo := sort.Search(len(g.keys), func(i int) bool { return g.keys[i] >= key })
+	hi := lo
+	for hi < len(g.keys) && g.keys[hi] == key {
+		hi++
+	}
+	return g.ids[lo:hi]
+}
+
+// keyIDSorter sorts two parallel slices by key.
+type keyIDSorter struct {
+	keys []uint64
+	ids  []uint32
+}
+
+func (s *keyIDSorter) Len() int           { return len(s.keys) }
+func (s *keyIDSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *keyIDSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+}
+
+// meetingTime returns the first step at which the coalescing walks of u
+// and v (sample r) coincide, or -1 when they never meet. Callers ensure
+// the terminal keys match, so the walks are both alive through la and the
+// equality predicate over steps is monotone — binary search applies.
+func (x *Index) meetingTime(u, v uint32, r int, la int) int {
+	if u == v {
+		return 0
+	}
+	if la == 0 {
+		return -1
+	}
+	pu, pv := x.path(u, r), x.path(v, r)
+	// Find the smallest t in [1, la] with pu[t-1] == pv[t-1].
+	lo, hi := 1, la
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pu[mid-1] == pv[mid-1] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if pu[lo-1] == pv[lo-1] {
+		return lo
+	}
+	return -1
+}

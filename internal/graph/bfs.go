@@ -1,0 +1,158 @@
+package graph
+
+// Unreachable is the distance value reported for vertices not reachable
+// from the BFS source.
+const Unreachable = int32(-1)
+
+// BFS computes directed distances (following out-edges) from src to every
+// vertex. dist[v] == Unreachable if v cannot be reached.
+func (g *Graph) BFS(src uint32) []int32 {
+	return g.bfs(src, g.Out, -1)
+}
+
+// BFSIn computes distances from src following in-edges, i.e. the number of
+// random-walk steps needed for a walk started at src to reach each vertex.
+func (g *Graph) BFSIn(src uint32) []int32 {
+	return g.bfs(src, g.In, -1)
+}
+
+// UndirectedDistances computes BFS distances from src treating every edge
+// as undirected, limited to maxDist hops (pass a negative maxDist for no
+// limit). This is the distance used by the L1 bound and the distance-decay
+// experiments (Section 5 of the paper).
+func (g *Graph) UndirectedDistances(src uint32, maxDist int) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]uint32, 0, 64)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := dist[v]
+		if maxDist >= 0 && int(d) >= maxDist {
+			continue
+		}
+		for _, w := range g.Out(v) {
+			if dist[w] == Unreachable {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+		for _, w := range g.In(v) {
+			if dist[w] == Unreachable {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// UndirectedBall returns the set of vertices within maxDist undirected
+// hops of src together with their distances, without allocating O(n)
+// state beyond a visited map. Suitable for local queries on large graphs.
+func (g *Graph) UndirectedBall(src uint32, maxDist int) map[uint32]int32 {
+	dist, _ := g.UndirectedBallBudget(src, maxDist, -1)
+	return dist
+}
+
+// UndirectedBallBudget is UndirectedBall with a cap on the number of
+// visited vertices (negative = unlimited). When the cap is reached,
+// expansion stops and truncated is true: distances in the map remain
+// exact, and absent vertices are merely "farther than what was explored".
+// This keeps per-query work local on high-expansion graphs, matching the
+// paper's observation that only a small neighbourhood of the query ever
+// matters.
+func (g *Graph) UndirectedBallBudget(src uint32, maxDist, budget int) (dist map[uint32]int32, truncated bool) {
+	dist = map[uint32]int32{src: 0}
+	queue := []uint32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := dist[v]
+		if int(d) >= maxDist {
+			continue
+		}
+		if budget >= 0 && len(dist) >= budget {
+			return dist, true
+		}
+		for _, w := range g.Out(v) {
+			if _, ok := dist[w]; !ok {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+		for _, w := range g.In(v) {
+			if _, ok := dist[w]; !ok {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist, false
+}
+
+func (g *Graph) bfs(src uint32, adj func(uint32) []uint32, maxDist int32) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]uint32, 0, 64)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		d := dist[v]
+		if maxDist >= 0 && d >= maxDist {
+			continue
+		}
+		for _, w := range adj(v) {
+			if dist[w] == Unreachable {
+				dist[w] = d + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents returns, for each vertex, the ID of its weakly
+// connected component, plus the number of components. Component IDs are
+// dense in [0, count).
+func (g *Graph) ConnectedComponents() (comp []int32, count int) {
+	comp = make([]int32, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []uint32
+	for s := uint32(0); int(s) < g.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		comp[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Out(v) {
+				if comp[w] < 0 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range g.In(v) {
+				if comp[w] < 0 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return comp, count
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. labels may be nil;
+// when provided it maps vertex IDs to display labels (useful when the
+// graph is a relabeled subgraph — pass the mapping from ExtractBall).
+// Graphs beyond a few thousand edges stop being viewable; WriteDOT
+// refuses more than maxDOTEdges to avoid accidentally rendering a giant.
+func WriteDOT(w io.Writer, g *Graph, labels func(uint32) string) error {
+	const maxDOTEdges = 50000
+	if g.M() > maxDOTEdges {
+		return fmt.Errorf("graph: %d edges exceed the DOT limit of %d; extract a subgraph first", g.M(), maxDOTEdges)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "digraph g {"); err != nil {
+		return err
+	}
+	if labels != nil {
+		for v := uint32(0); int(v) < g.N(); v++ {
+			if _, err := fmt.Fprintf(bw, "  %d [label=%q];\n", v, labels(v)); err != nil {
+				return err
+			}
+		}
+	}
+	var werr error
+	g.Edges(func(u, v uint32) bool {
+		if _, err := fmt.Fprintf(bw, "  %d -> %d;\n", u, v); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

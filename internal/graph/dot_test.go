@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph g {", "0 -> 1;", "1 -> 2;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTLabels(t *testing.T) {
+	g := FromEdges(2, []Edge{{0, 1}})
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, func(v uint32) string { return fmt.Sprintf("node-%d", v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `label="node-0"`) {
+		t.Fatalf("labels missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteDOTRefusesGiant(t *testing.T) {
+	g := ErdosRenyi(400, 60000, 1)
+	if g.M() <= 50000 {
+		t.Skip("generator produced fewer edges than the limit")
+	}
+	if err := WriteDOT(&bytes.Buffer{}, g, nil); err == nil {
+		t.Fatal("expected refusal for giant graph")
+	}
+}
+
+func TestWriteDOTFailure(t *testing.T) {
+	g := ErdosRenyi(50, 200, 1)
+	if err := WriteDOT(&failingWriter{n: 10}, g, nil); err == nil {
+		t.Fatal("expected write error")
+	}
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that arbitrary text never panics the parser and
+// that accepted graphs re-serialize losslessly.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other\n\n3 4\n")
+	f.Add("0 0\n")
+	f.Add("4294967295 1\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add(strings.Repeat("0 1\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted graphs round-trip.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.M() != g.M() {
+			t.Fatalf("round trip changed m: %d vs %d", g2.M(), g.M())
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary loader against corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, ErdosRenyi(20, 50, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add(valid.Bytes()[:8])
+	corrupted := append([]byte(nil), valid.Bytes()...)
+	if len(corrupted) > 20 {
+		corrupted[16] ^= 0xff
+	}
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever loads must be internally consistent.
+		total := 0
+		for v := uint32(0); int(v) < g.N(); v++ {
+			total += g.OutDegree(v)
+			for _, w := range g.Out(v) {
+				if int(w) >= g.N() {
+					t.Fatalf("edge target %d out of range %d", w, g.N())
+				}
+			}
+		}
+		if total != g.M() {
+			t.Fatalf("degree sum %d != m %d", total, g.M())
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package graph
+
+import "repro/internal/rng"
+
+// RMAT returns a directed R-MAT (Kronecker-style) random graph with 2^scale
+// vertices and ~m edges, using the classic recursive quadrant probabilities
+// (a, b, c; d = 1−a−b−c). R-MAT reproduces the heavy-tailed, self-similar
+// structure of large web and social graphs and is the standard generator
+// for graph benchmarks (Graph500 uses a=0.57, b=0.19, c=0.19).
+// Duplicate edges and self-loops are regenerated up to a retry budget, so
+// the result can have slightly fewer than m edges on dense settings.
+func RMAT(scale int, m int, a, b, c float64, seed uint64) *Graph {
+	if scale < 1 {
+		scale = 1
+	}
+	n := 1 << scale
+	r := rng.New(seed)
+	builder := NewBuilder(n)
+	seen := make(map[uint64]struct{}, m)
+	retries := 0
+	for len(seen) < m && retries < 20*m {
+		u, v := uint32(0), uint32(0)
+		for bit := 0; bit < scale; bit++ {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: no bits set
+			case p < a+b:
+				v |= 1 << bit
+			case p < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			retries++
+			continue
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, ok := seen[key]; ok {
+			retries++
+			continue
+		}
+		seen[key] = struct{}{}
+		builder.AddEdge(u, v)
+	}
+	return builder.Build()
+}
+
+// ForestFire returns a directed forest-fire graph (Leskovec et al.):
+// each new vertex links to an "ambassador" and then recursively burns
+// through the ambassador's neighbourhood with forward probability pFwd
+// and backward probability pBwd. Forest fire produces densification and
+// shrinking diameters, and like the copying model creates heavily shared
+// neighbourhoods — good SimRank-locality workloads.
+func ForestFire(n int, pFwd, pBwd float64, seed uint64) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	outs := make([][]uint32, n) // forward links added so far
+	ins := make([][]uint32, n)  // backward links
+	link := func(u, v uint32) {
+		b.AddEdge(u, v)
+		outs[u] = append(outs[u], v)
+		ins[v] = append(ins[v], u)
+	}
+	// geometric draws the number of neighbours to burn: Geom(p)/(1-p)
+	// style mean p/(1-p), clamped to available.
+	geometric := func(p float64, max int) int {
+		if p <= 0 || max <= 0 {
+			return 0
+		}
+		k := 0
+		for k < max && r.Float64() < p {
+			k++
+		}
+		return k
+	}
+	for v := 1; v < n; v++ {
+		burned := map[uint32]struct{}{uint32(v): {}}
+		ambassador := uint32(r.Intn(v))
+		frontier := []uint32{ambassador}
+		burned[ambassador] = struct{}{}
+		link(uint32(v), ambassador)
+		for len(frontier) > 0 {
+			w := frontier[0]
+			frontier = frontier[1:]
+			// Burn forward through w's out-links, backward through
+			// in-links.
+			spread := func(nbrs []uint32, p float64) {
+				k := geometric(p, len(nbrs))
+				// Sample k distinct neighbours by partial shuffle of a
+				// copy.
+				cand := make([]uint32, len(nbrs))
+				copy(cand, nbrs)
+				for i := 0; i < k; i++ {
+					j := i + r.Intn(len(cand)-i)
+					cand[i], cand[j] = cand[j], cand[i]
+					t := cand[i]
+					if _, ok := burned[t]; ok {
+						continue
+					}
+					burned[t] = struct{}{}
+					link(uint32(v), t)
+					frontier = append(frontier, t)
+				}
+			}
+			spread(outs[w], pFwd)
+			spread(ins[w], pBwd)
+			if len(burned) > 200 {
+				break // bound the burn so generation stays near-linear
+			}
+		}
+	}
+	return b.Build()
+}

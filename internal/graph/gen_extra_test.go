@@ -1,0 +1,85 @@
+package graph
+
+import "testing"
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 4000, 0.57, 0.19, 0.19, 7)
+	if g.N() != 1024 {
+		t.Fatalf("n = %d, want 1024", g.N())
+	}
+	if g.M() < 3000 {
+		t.Fatalf("m = %d, want near 4000", g.M())
+	}
+	// Heavy tail: max in-degree far above the mean.
+	hist := DegreeHistogram(g, true)
+	maxDeg := len(hist) - 1
+	mean := float64(g.M()) / float64(g.N())
+	if float64(maxDeg) < 4*mean {
+		t.Fatalf("R-MAT not skewed: max in-degree %d, mean %.1f", maxDeg, mean)
+	}
+	// No self loops.
+	bad := false
+	g.Edges(func(u, v uint32) bool {
+		if u == v {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		t.Fatal("R-MAT produced a self loop")
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(8, 1000, 0.57, 0.19, 0.19, 3)
+	b := RMAT(8, 1000, 0.57, 0.19, 0.19, 3)
+	if a.M() != b.M() {
+		t.Fatal("same seed, different edge counts")
+	}
+	var ea, eb []Edge
+	a.Edges(func(u, v uint32) bool { ea = append(ea, Edge{u, v}); return true })
+	b.Edges(func(u, v uint32) bool { eb = append(eb, Edge{u, v}); return true })
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("edges differ")
+		}
+	}
+}
+
+func TestRMATSmallScaleClamped(t *testing.T) {
+	g := RMAT(0, 10, 0.25, 0.25, 0.25, 1)
+	if g.N() != 2 {
+		t.Fatalf("n = %d", g.N())
+	}
+}
+
+func TestForestFireShape(t *testing.T) {
+	g := ForestFire(2000, 0.35, 0.2, 5)
+	if g.N() != 2000 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Every vertex after 0 links to at least its ambassador.
+	if g.M() < 1999 {
+		t.Fatalf("m = %d, want >= 1999", g.M())
+	}
+	// Densification: forest fire should produce noticeably more than one
+	// edge per vertex at these burn probabilities.
+	if float64(g.M())/float64(g.N()) < 1.2 {
+		t.Fatalf("no densification: m/n = %.2f", float64(g.M())/float64(g.N()))
+	}
+	// Weakly connected by construction (every vertex attaches to an
+	// earlier one).
+	_, count := g.ConnectedComponents()
+	if count != 1 {
+		t.Fatalf("components = %d, want 1", count)
+	}
+}
+
+func TestForestFireDeterministic(t *testing.T) {
+	a := ForestFire(500, 0.3, 0.2, 9)
+	b := ForestFire(500, 0.3, 0.2, 9)
+	if a.M() != b.M() {
+		t.Fatal("same seed, different edge counts")
+	}
+}

@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list, one "u v" pair per
+// line, in the format used by SNAP datasets. Lines starting with '#' or
+// '%' are comments. Vertex IDs are kept as-is and the vertex count is
+// 1 + the maximum ID seen.
+//
+// As a safeguard against hostile or corrupt files, vertex IDs are capped
+// at MaxEdgeListVertex: a single bogus line like "4294967295 1" would
+// otherwise force a multi-gigabyte CSR allocation. Larger graphs should
+// use the binary format with densely renumbered IDs.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var edges []Edge
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected \"u v\", got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q: %v", lineNo, fields[1], err)
+		}
+		if u > MaxEdgeListVertex || v > MaxEdgeListVertex {
+			return nil, fmt.Errorf("graph: line %d: vertex ID beyond the %d cap; renumber IDs densely", lineNo, MaxEdgeListVertex)
+		}
+		if int(u) > maxID {
+			maxID = int(u)
+		}
+		if int(v) > maxID {
+			maxID = int(v)
+		}
+		edges = append(edges, Edge{uint32(u), uint32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return FromEdges(maxID+1, edges), nil
+}
+
+// MaxEdgeListVertex bounds vertex IDs accepted by ReadEdgeList
+// (~134M; the resulting CSR offset arrays stay around 1 GB).
+const MaxEdgeListVertex = 1<<27 - 1
+
+// WriteEdgeList writes the graph as a "u v" per line edge list with a
+// header comment recording n and m.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# n=%d m=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v uint32) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// LoadEdgeListFile reads an edge-list file from disk.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// SaveEdgeListFile writes the graph to an edge-list file on disk.
+func SaveEdgeListFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// binaryMagic identifies the compact binary graph format.
+const binaryMagic = 0x53524B47 // "GKRS"
+
+// WriteBinary writes the graph in a compact little-endian binary format:
+// magic, n, m, then the out-edge CSR arrays. Much faster to reload than
+// text edge lists for large graphs.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{binaryMagic, uint32(g.n), uint32(g.M())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outStart); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n, m := int(hdr[1]), int(hdr[2])
+	// Guard the upcoming allocations against corrupt headers.
+	const maxDim = 1 << 28
+	if n > maxDim || m > maxDim {
+		return nil, fmt.Errorf("graph: header claims n=%d m=%d, beyond the %d limit", n, m, maxDim)
+	}
+	outStart := make([]uint32, n+1)
+	outAdj := make([]uint32, m)
+	if err := binary.Read(br, binary.LittleEndian, outStart); err != nil {
+		return nil, fmt.Errorf("graph: reading CSR offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, outAdj); err != nil {
+		return nil, fmt.Errorf("graph: reading CSR adjacency: %w", err)
+	}
+	if int(outStart[n]) != m {
+		return nil, fmt.Errorf("graph: corrupt CSR: offsets end at %d, want %d", outStart[n], m)
+	}
+	// Validate and rebuild through the builder so the in-direction and
+	// all invariants (sortedness, range checks) are re-established.
+	b := NewBuilder(n)
+	b.KeepSelfLoops = true
+	for u := 0; u < n; u++ {
+		lo, hi := outStart[u], outStart[u+1]
+		if lo > hi || int(hi) > m {
+			return nil, fmt.Errorf("graph: corrupt CSR offsets at vertex %d", u)
+		}
+		for _, v := range outAdj[lo:hi] {
+			if int(v) >= n {
+				return nil, fmt.Errorf("graph: corrupt CSR: edge (%d,%d) out of range", u, v)
+			}
+			b.AddEdge(uint32(u), v)
+		}
+	}
+	return b.Build(), nil
+}

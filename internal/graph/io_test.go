@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment line
+% another comment
+
+0 1
+1 2
+2 0
+0 2
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 4 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 2) {
+		t.Fatal("missing edge")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",            // one field
+		"a b\n",          // non-numeric source
+		"0 b\n",          // non-numeric target
+		"0 -1\n",         // negative
+		"0 1 extra\n0\n", // second line bad
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("expected error for %q", in)
+		}
+	}
+}
+
+func TestReadEdgeListVertexCap(t *testing.T) {
+	// A single hostile line must not force a giant allocation.
+	if _, err := ReadEdgeList(strings.NewReader("4294967295 1\n")); err == nil {
+		t.Fatal("expected cap error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("1 268435456\n")); err == nil {
+		t.Fatal("expected cap error just above the limit")
+	}
+}
+
+func TestReadBinaryHeaderCap(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := []uint32{binaryMagic, 1 << 30, 5}
+	if err := writeHeader(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected header cap error")
+	}
+}
+
+func writeHeader(buf *bytes.Buffer, hdr []uint32) error {
+	for _, v := range hdr {
+		b := []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+		if _, err := buf.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := ErdosRenyi(50, 200, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size: %v vs %v", g2, g)
+	}
+	g.Edges(func(u, v uint32) bool {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("round trip lost edge (%d,%d)", u, v)
+		}
+		return true
+	})
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := PreferentialAttachment(300, 3, 0.2, 11)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("binary round trip changed size: %v vs %v", g2, g)
+	}
+	g.Edges(func(u, v uint32) bool {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("binary round trip lost edge (%d,%d)", u, v)
+		}
+		return true
+	})
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := ErdosRenyi(20, 40, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error for truncated input")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := ErdosRenyi(30, 100, 2)
+	if err := SaveEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatalf("file round trip changed m: %d vs %d", g2.M(), g.M())
+	}
+}
+
+// failingWriter errors after n bytes, for error-path coverage.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWriteFailed
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errWriteFailed
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errWriteFailed = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "injected write failure" }
+
+func TestWriteEdgeListFailure(t *testing.T) {
+	g := ErdosRenyi(100, 400, 1)
+	for _, budget := range []int{0, 10, 100} {
+		if err := WriteEdgeList(&failingWriter{n: budget}, g); err == nil {
+			t.Fatalf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+func TestWriteBinaryFailure(t *testing.T) {
+	g := ErdosRenyi(100, 400, 1)
+	for _, budget := range []int{0, 16, 600} {
+		if err := WriteBinary(&failingWriter{n: budget}, g); err == nil {
+			t.Fatalf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+func TestSaveToUnwritablePath(t *testing.T) {
+	g := ErdosRenyi(5, 10, 1)
+	if err := SaveEdgeListFile("/nonexistent-dir/g.txt", g); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadEdgeListFile("/definitely/not/here.txt"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

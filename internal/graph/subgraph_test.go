@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	sub, mapping := InducedSubgraph(g, []uint32{0, 1, 2, 2}) // dup dropped
+	if sub.N() != 3 {
+		t.Fatalf("n = %d", sub.N())
+	}
+	if len(mapping) != 3 || mapping[0] != 0 || mapping[1] != 1 || mapping[2] != 2 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	// Edges inside the set survive; edges out of the set are dropped.
+	if sub.M() != 2 || !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Fatalf("subgraph edges wrong: m=%d", sub.M())
+	}
+}
+
+func TestExtractBall(t *testing.T) {
+	g := Path(10)
+	sub, mapping := ExtractBall(g, 5, 2)
+	if mapping[0] != 5 {
+		t.Fatalf("source not first: %v", mapping)
+	}
+	if sub.N() != 5 { // vertices 3..7
+		t.Fatalf("ball size = %d", sub.N())
+	}
+	// Connectivity preserved: the ball of a path is a path.
+	if sub.M() != 4 {
+		t.Fatalf("ball edges = %d", sub.M())
+	}
+	// Deterministic across calls.
+	_, mapping2 := ExtractBall(g, 5, 2)
+	for i := range mapping {
+		if mapping[i] != mapping2[i] {
+			t.Fatal("mapping not deterministic")
+		}
+	}
+}
+
+func TestRelabelBFSIsomorphic(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(30)
+		g := ErdosRenyi(n, 3*n, seed)
+		root := uint32(r.Intn(n))
+		relabeled, order := RelabelBFS(g, root)
+		if relabeled.N() != g.N() || relabeled.M() != g.M() {
+			return false
+		}
+		// order is a permutation.
+		seen := make([]bool, n)
+		for _, old := range order {
+			if seen[old] {
+				return false
+			}
+			seen[old] = true
+		}
+		// Every original edge exists under the relabeling.
+		newID := make([]uint32, n)
+		for nw, old := range order {
+			newID[old] = uint32(nw)
+		}
+		ok := true
+		g.Edges(func(u, v uint32) bool {
+			if !relabeled.HasEdge(newID[u], newID[v]) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelBFSRootIsZero(t *testing.T) {
+	g := ErdosRenyi(40, 160, 2)
+	_, order := RelabelBFS(g, 17)
+	if order[0] != 17 {
+		t.Fatalf("root relabeled to %d", order[0])
+	}
+}
+
+func TestRelabelBFSEmpty(t *testing.T) {
+	g := NewBuilder(0).Build()
+	sub, order := RelabelBFS(g, 0)
+	if sub.N() != 0 || order != nil {
+		t.Fatal("empty relabel wrong")
+	}
+}
+
+func TestRelabelBFSDisconnected(t *testing.T) {
+	// Two components: BFS order covers both.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	relabeled, order := RelabelBFS(g, 0)
+	if relabeled.N() != 6 || len(order) != 6 {
+		t.Fatal("disconnected relabel dropped vertices")
+	}
+}

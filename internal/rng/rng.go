@@ -1,0 +1,178 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by all Monte-Carlo components of the library.
+//
+// The generator is xoshiro256**, seeded through splitmix64 so that any
+// 64-bit seed (including 0) produces a well-mixed initial state. It is
+// deliberately not safe for concurrent use: Monte-Carlo workers each own
+// a Source split off a parent with Split, which yields independent,
+// reproducible streams without locking.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random number generator.
+// The zero value is not usable; construct with New.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the given state and returns the next output.
+// It is used for seeding and for splitting streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given 64-bit seed.
+// Equal seeds produce identical streams.
+func New(seed uint64) *Source {
+	r := &Source{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+}
+
+// Split returns a new Source whose stream is independent of the receiver's
+// future output. It consumes one output from the receiver.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Uint32 returns the next 32 uniformly random bits.
+func (r *Source) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Uint32n returns a uniformly random integer in [0, n).
+// It panics if n == 0. Uses Lemire's multiply-shift rejection method.
+func (r *Source) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("rng: Uint32n with n == 0")
+	}
+	x := r.Uint32()
+	m := uint64(x) * uint64(n)
+	low := uint32(m)
+	if low < n {
+		thresh := -n % n
+		for low < thresh {
+			x = r.Uint32()
+			m = uint64(x) * uint64(n)
+			low = uint32(m)
+		}
+	}
+	return uint32(m >> 32)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	if n <= math.MaxUint32 {
+		return int(r.Uint32n(uint32(n)))
+	}
+	// Rare path for very large n: rejection sample on 63 bits.
+	max := uint64(n)
+	for {
+		v := r.Uint64() >> 1
+		if v < (1<<63)-((1<<63)%max) {
+			return int(v % max)
+		}
+	}
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Perm returns a random permutation of [0, n) as a slice of ints.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, following the Fisher–Yates algorithm.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct uniformly random integers from [0, n) in
+// unspecified order. It panics if k > n or k < 0.
+func (r *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample with k out of range")
+	}
+	if k*4 >= n {
+		// Dense case: partial Fisher–Yates over an explicit index slice.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+		return idx[:k:k]
+	}
+	// Sparse case: rejection via a set.
+	seen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := r.Intn(n)
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// NormFloat64 returns a standard normally distributed float64 using the
+// Marsaglia polar method. Used by generators that need Gaussian noise.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package server exposes a similarity-search index over HTTP with a small
+// JSON API, so the library can run as a standalone service:
+//
+//	GET /topk?u=42&k=20          -> {"query":42,"results":[{"node":7,"score":0.31},...]}
+//	GET /pair?u=42&v=99          -> {"u":42,"v":99,"score":0.018}
+//	GET /similar?u=42&theta=0.05 -> same shape as /topk
+//	GET /stats                   -> graph and index statistics
+//	GET /healthz                 -> 200 ok
+//
+// The handler is safe for concurrent requests; the underlying index is
+// immutable after construction.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	simrank "repro"
+)
+
+// Handler serves the JSON API for one index.
+type Handler struct {
+	idx *simrank.Index
+	mux *http.ServeMux
+	// MaxK caps the k parameter to keep responses bounded (default 1000).
+	MaxK int
+}
+
+// New returns a ready-to-mount handler.
+func New(idx *simrank.Index) *Handler {
+	h := &Handler{idx: idx, MaxK: 1000}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", h.handleTopK)
+	mux.HandleFunc("/pair", h.handlePair)
+	mux.HandleFunc("/similar", h.handleSimilar)
+	mux.HandleFunc("/join", h.handleJoin)
+	mux.HandleFunc("/stats", h.handleStats)
+	mux.HandleFunc("/healthz", h.handleHealth)
+	h.mux = mux
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// ResultJSON is one scored vertex in API responses.
+type ResultJSON struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// TopKResponse is the payload of /topk and /similar.
+type TopKResponse struct {
+	Query    int          `json:"query"`
+	Results  []ResultJSON `json:"results"`
+	ElapsedM float64      `json:"elapsed_ms"`
+}
+
+// PairResponse is the payload of /pair.
+type PairResponse struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Score float64 `json:"score"`
+}
+
+// StatsResponse is the payload of /stats.
+type StatsResponse struct {
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	IndexBytes     int64   `json:"index_bytes"`
+	PreprocessSecs float64 `json:"preprocess_seconds"`
+}
+
+// ErrorResponse is returned with non-2xx statuses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
+	u, ok := h.intParam(w, r, "u", -1)
+	if !ok {
+		return
+	}
+	k, ok := h.intParam(w, r, "k", 20)
+	if !ok {
+		return
+	}
+	if k <= 0 || k > h.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d]", h.MaxK))
+		return
+	}
+	start := time.Now()
+	res, err := h.idx.TopK(u, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{
+		Query:    u,
+		Results:  toJSON(res),
+		ElapsedM: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (h *Handler) handlePair(w http.ResponseWriter, r *http.Request) {
+	u, ok := h.intParam(w, r, "u", -1)
+	if !ok {
+		return
+	}
+	v, ok := h.intParam(w, r, "v", -1)
+	if !ok {
+		return
+	}
+	score, err := h.idx.SinglePair(u, v)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PairResponse{U: u, V: v, Score: score})
+}
+
+func (h *Handler) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	u, ok := h.intParam(w, r, "u", -1)
+	if !ok {
+		return
+	}
+	theta := 0.01
+	if s := r.URL.Query().Get("theta"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 || f > 1 {
+			writeError(w, http.StatusBadRequest, "theta must be a float in (0, 1]")
+			return
+		}
+		theta = f
+	}
+	start := time.Now()
+	res, err := h.idx.Similar(u, theta)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{
+		Query:    u,
+		Results:  toJSON(res),
+		ElapsedM: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// JoinPairJSON is one similarity-join pair.
+type JoinPairJSON struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Score float64 `json:"score"`
+}
+
+// JoinResponse is the payload of /join.
+type JoinResponse struct {
+	Theta    float64        `json:"theta"`
+	Pairs    []JoinPairJSON `json:"pairs"`
+	ElapsedM float64        `json:"elapsed_ms"`
+}
+
+// handleJoin runs a similarity join: GET /join?theta=0.1&max=100.
+// The join queries every vertex, so MaxK also caps max here.
+func (h *Handler) handleJoin(w http.ResponseWriter, r *http.Request) {
+	theta := 0.1
+	if s := r.URL.Query().Get("theta"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 || f > 1 {
+			writeError(w, http.StatusBadRequest, "theta must be a float in (0, 1]")
+			return
+		}
+		theta = f
+	}
+	max, ok := h.intParam(w, r, "max", 100)
+	if !ok {
+		return
+	}
+	if max <= 0 || max > h.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("max must be in [1, %d]", h.MaxK))
+		return
+	}
+	start := time.Now()
+	pairs := h.idx.SimilarityJoin(theta, max)
+	out := make([]JoinPairJSON, len(pairs))
+	for i, p := range pairs {
+		out[i] = JoinPairJSON{U: p.U, V: p.V, Score: p.Score}
+	}
+	writeJSON(w, http.StatusOK, JoinResponse{
+		Theta:    theta,
+		Pairs:    out,
+		ElapsedM: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	g := h.idx.Graph()
+	st := h.idx.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Vertices:       g.NumVertices(),
+		Edges:          g.NumEdges(),
+		IndexBytes:     st.IndexBytes,
+		PreprocessSecs: st.PreprocessTime.Seconds(),
+	})
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// intParam parses an integer query parameter; def < 0 means required.
+func (h *Handler) intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		if def >= 0 {
+			return def, true
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("missing required parameter %q", name))
+		return 0, false
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parameter %q must be an integer", name))
+		return 0, false
+	}
+	return v, true
+}
+
+func toJSON(res []simrank.Result) []ResultJSON {
+	out := make([]ResultJSON, len(res))
+	for i, r := range res {
+		out[i] = ResultJSON{Node: r.Node, Score: r.Score}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(payload)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	simrank "repro"
+)
+
+func testHandler(t *testing.T) *Handler {
+	t.Helper()
+	g := simrank.GenerateCollaborationGraph(50, 4, 0.8, 7)
+	idx := simrank.BuildIndex(g, simrank.DefaultOptions())
+	return New(idx)
+}
+
+func get(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/topk?u=0&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp TopKResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Query != 0 || len(resp.Results) > 5 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	for i := 1; i < len(resp.Results); i++ {
+		if resp.Results[i].Score > resp.Results[i-1].Score {
+			t.Fatal("unsorted results")
+		}
+	}
+}
+
+func TestTopKDefaultsAndValidation(t *testing.T) {
+	h := testHandler(t)
+	// Default k.
+	rec, _ := get(t, h, "/topk?u=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default k status %d", rec.Code)
+	}
+	cases := []string{
+		"/topk",                // missing u
+		"/topk?u=abc",          // non-integer
+		"/topk?u=0&k=0",        // k out of range
+		"/topk?u=0&k=99999999", // k over cap
+		"/topk?u=100000",       // vertex out of range
+	}
+	for _, url := range cases {
+		rec, body := get(t, h, url)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", url, rec.Code)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Fatalf("%s: bad error payload %s", url, body)
+		}
+	}
+}
+
+func TestPairEndpoint(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/pair?u=1&v=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp PairResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Score != 1 {
+		t.Fatalf("self pair score %v", resp.Score)
+	}
+	if rec, _ := get(t, h, "/pair?u=1"); rec.Code != http.StatusBadRequest {
+		t.Fatal("missing v accepted")
+	}
+}
+
+func TestSimilarEndpoint(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/similar?u=0&theta=0.05")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp TopKResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resp.Results {
+		if r.Score < 0.05 {
+			t.Fatalf("result below theta: %+v", r)
+		}
+	}
+	for _, url := range []string{"/similar?u=0&theta=0", "/similar?u=0&theta=2", "/similar?u=0&theta=x"} {
+		if rec, _ := get(t, h, url); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s accepted", url)
+		}
+	}
+}
+
+func TestJoinEndpoint(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/join?theta=0.05&max=10")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp JoinResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Pairs) > 10 {
+		t.Fatalf("max ignored: %d pairs", len(resp.Pairs))
+	}
+	for _, p := range resp.Pairs {
+		if p.U >= p.V || p.Score < 0.05 {
+			t.Fatalf("bad pair %+v", p)
+		}
+	}
+	for _, url := range []string{"/join?theta=0", "/join?theta=boo", "/join?max=0", "/join?max=1000000"} {
+		if rec, _ := get(t, h, url); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s accepted", url)
+		}
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices == 0 || st.Edges == 0 || st.IndexBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	rec, _ = get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatal("health check failed")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	h := testHandler(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet, "/topk?u=0&k=5", nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				errs <- rec.Body.String()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent request failed: %s", e)
+	}
+}

@@ -1,0 +1,75 @@
+package yu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func TestAllPairsMatchesNaive(t *testing.T) {
+	g := graph.ErdosRenyi(25, 80, 3)
+	res, err := AllPairs(g, Params{C: 0.6, T: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := exact.NaiveAllPairs(g, 0.6, 10)
+	if d := exact.MaxAbsDiff(res.S, naive); d > 1e-12 {
+		t.Fatalf("differs from naive by %v", d)
+	}
+	if res.Bytes != PredictBytes(g.N()) {
+		t.Fatal("bytes accounting wrong")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestMemoryBudgetFailure(t *testing.T) {
+	g := graph.ErdosRenyi(2000, 8000, 1)
+	_, err := AllPairs(g, Params{C: 0.6, T: 5, MemoryBudget: 1 << 20})
+	var mb *ErrMemoryBudget
+	if !errors.As(err, &mb) {
+		t.Fatalf("expected ErrMemoryBudget, got %v", err)
+	}
+	if mb.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	g := graph.ErdosRenyi(10, 30, 1)
+	for _, p := range []Params{{C: 0, T: 5}, {C: 0.6, T: 0}, {C: 1.0, T: 5}} {
+		if _, err := AllPairs(g, p); err == nil {
+			t.Fatalf("expected error for %+v", p)
+		}
+	}
+}
+
+func TestTopKFromDense(t *testing.T) {
+	g := graph.Collaboration(40, 5, 0.8, 15, 5)
+	res, err := AllPairs(g, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopK(0, 5)
+	if len(top) > 5 {
+		t.Fatalf("returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatal("unsorted")
+		}
+	}
+	all := res.AllTopK(3)
+	if len(all) != g.N() {
+		t.Fatalf("AllTopK rows = %d", len(all))
+	}
+	for i, s := range all[0] {
+		if i < len(top) && s != top[0] && i == 0 {
+			t.Fatalf("AllTopK[0] differs from TopK(0): %v vs %v", s, top[0])
+		}
+		break
+	}
+}

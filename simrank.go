@@ -1,0 +1,269 @@
+package simrank
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+// Options tunes the similarity search. Zero fields take the paper's
+// defaults (Section 8): c = 0.6, T = 11, R = 100, P = 10, Q = 5,
+// θ = 0.01.
+type Options struct {
+	// DecayFactor is SimRank's c in (0, 1). Default 0.6.
+	DecayFactor float64
+	// Steps is the walk length / series truncation T. Default 11.
+	Steps int
+	// Samples is the number of Monte-Carlo walk pairs per refined
+	// single-pair estimate. Default 100.
+	Samples int
+	// RoughSamples is the adaptive first-pass sample count. Default 10.
+	RoughSamples int
+	// BoundSamples is the walk count for the per-query L1 bound.
+	// Default 10000.
+	BoundSamples int
+	// IndexTrials (P) and IndexWalks (Q) control candidate-index
+	// construction. Defaults 10 and 5.
+	IndexTrials int
+	IndexWalks  int
+	// Threshold prunes vertices whose score upper bound falls below it.
+	// Default 0.01; pass a tiny positive value (e.g. 1e-12) to
+	// effectively disable pruning by score.
+	Threshold float64
+	// Exhaustive switches candidate enumeration from the random-walk
+	// index to the full distance-DMax ball (slower, higher recall).
+	Exhaustive bool
+	// ExactScores replaces Monte-Carlo candidate scores with a
+	// deterministic sparse series evaluation whenever walk supports stay
+	// small (they do on web-like graphs), eliminating sampling noise at
+	// some query-time cost. Falls back to sampling around hubs.
+	ExactScores bool
+	// Seed makes all Monte-Carlo components deterministic. Default 1.
+	Seed uint64
+	// Workers bounds preprocess/all-pairs parallelism. Default:
+	// GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the paper's experiment configuration.
+func DefaultOptions() Options { return Options{} }
+
+// toParams maps Options onto the internal parameter set.
+func (o Options) toParams() core.Params {
+	p := core.Params{
+		C:       o.DecayFactor,
+		T:       o.Steps,
+		RScore:  o.Samples,
+		RRough:  o.RoughSamples,
+		RAlpha:  o.BoundSamples,
+		P:       o.IndexTrials,
+		Q:       o.IndexWalks,
+		Theta:   o.Threshold,
+		Seed:    o.Seed,
+		Workers: o.Workers,
+	}
+	if o.Seed == 0 {
+		p.Seed = 1
+	}
+	if o.Exhaustive {
+		p.Strategy = core.CandidatesBall
+	}
+	p.ExactScoring = o.ExactScores
+	return p
+}
+
+// Result pairs a vertex with its estimated SimRank score, descending by
+// score in all query outputs.
+type Result struct {
+	Node  int
+	Score float64
+}
+
+// Index is a preprocessed similarity-search index over one graph. It is
+// safe for concurrent queries.
+type Index struct {
+	g *Graph
+	e *core.Engine
+}
+
+// IndexStats reports preprocess cost.
+type IndexStats struct {
+	PreprocessTime time.Duration
+	IndexBytes     int64
+}
+
+// BuildIndex runs the O(n) preprocess (γ table + candidate index) and
+// returns a query-ready index.
+func BuildIndex(g *Graph, opts Options) *Index {
+	return &Index{g: g, e: core.Build(g.g, opts.toParams())}
+}
+
+// Stats returns preprocess cost statistics.
+func (ix *Index) Stats() IndexStats {
+	s := ix.e.Stats()
+	return IndexStats{
+		PreprocessTime: s.GammaTime + s.IndexTime,
+		IndexBytes:     s.IndexBytes,
+	}
+}
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *Graph { return ix.g }
+
+// TopK returns the k vertices most similar to u, best first. Fewer than
+// k results are returned when fewer candidates clear the threshold.
+func (ix *Index) TopK(u, k int) ([]Result, error) {
+	if err := ix.g.checkVertex(u); err != nil {
+		return nil, err
+	}
+	return toResults(ix.e.TopK(uint32(u), k)), nil
+}
+
+// QueryStats reports what the pruning machinery did during one query.
+type QueryStats struct {
+	// Candidates enumerated before pruning.
+	Candidates int
+	// PrunedByBound were cut by the L1/L2/distance upper bounds.
+	PrunedByBound int
+	// PrunedByRough were cut after the rough adaptive estimate.
+	PrunedByRough int
+	// Refined received the full-sample estimate.
+	Refined int
+}
+
+// TopKWithStats is TopK plus pruning statistics, for tuning and
+// observability.
+func (ix *Index) TopKWithStats(u, k int) ([]Result, QueryStats, error) {
+	if err := ix.g.checkVertex(u); err != nil {
+		return nil, QueryStats{}, err
+	}
+	res, st := ix.e.TopKStats(uint32(u), k)
+	return toResults(res), QueryStats{
+		Candidates:    st.Candidates,
+		PrunedByBound: st.PrunedByBound,
+		PrunedByRough: st.PrunedByRough,
+		Refined:       st.Refined,
+	}, nil
+}
+
+// Similar returns every vertex whose estimated SimRank score with u is at
+// least threshold, best first.
+func (ix *Index) Similar(u int, threshold float64) ([]Result, error) {
+	if err := ix.g.checkVertex(u); err != nil {
+		return nil, err
+	}
+	return toResults(ix.e.Threshold(uint32(u), threshold)), nil
+}
+
+// SinglePair estimates the (truncated) SimRank score between u and v by
+// Monte-Carlo simulation, in O(T·R) time independent of graph size.
+func (ix *Index) SinglePair(u, v int) (float64, error) {
+	if err := ix.g.checkVertex(u); err != nil {
+		return 0, err
+	}
+	if err := ix.g.checkVertex(v); err != nil {
+		return 0, err
+	}
+	if u == v {
+		return 1, nil
+	}
+	return ix.e.SinglePair(uint32(u), uint32(v)), nil
+}
+
+// AllTopK runs the top-k search for every vertex in parallel and returns
+// one row per vertex. Space is O(m + k·n).
+func (ix *Index) AllTopK(k int) [][]Result {
+	rows := ix.e.AllTopK(k)
+	out := make([][]Result, len(rows))
+	for i, r := range rows {
+		out[i] = toResults(r)
+	}
+	return out
+}
+
+// JoinPair is one result of SimilarityJoin, with U < V.
+type JoinPair struct {
+	U, V  int
+	Score float64
+}
+
+// SimilarityJoin finds every unordered vertex pair whose estimated
+// SimRank score is at least threshold, strongest first. maxPairs caps the
+// output (0 = unlimited). This runs a threshold query per vertex in
+// parallel: expect all-pairs cost on large graphs.
+func (ix *Index) SimilarityJoin(threshold float64, maxPairs int) []JoinPair {
+	pairs := ix.e.SimilarityJoin(threshold, maxPairs)
+	out := make([]JoinPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = JoinPair{U: int(p.U), V: int(p.V), Score: p.Score}
+	}
+	return out
+}
+
+func toResults(xs []core.Scored) []Result {
+	out := make([]Result, len(xs))
+	for i, s := range xs {
+		out[i] = Result{Node: int(s.V), Score: s.Score}
+	}
+	return out
+}
+
+// ExactSingleSource computes the deterministic truncated-series SimRank
+// scores from u to every vertex with D = (1−c)·I, in O(T·(n+m)) time.
+// Useful as ground truth and for small-to-medium graphs.
+func ExactSingleSource(g *Graph, opts Options, u int) ([]float64, error) {
+	if err := g.checkVertex(u); err != nil {
+		return nil, err
+	}
+	p := opts.toParams()
+	d := exact.UniformDiagonal(g.g.N(), paramC(p.C))
+	return exact.SingleSource(g.g, d, paramC(p.C), paramT(p.T), uint32(u)), nil
+}
+
+// ExactTopK ranks vertices by the deterministic truncated series.
+func ExactTopK(g *Graph, opts Options, u, k int) ([]Result, error) {
+	row, err := ExactSingleSource(g, opts, u)
+	if err != nil {
+		return nil, err
+	}
+	top := exact.TopK(row, uint32(u), k)
+	out := make([]Result, len(top))
+	for i, s := range top {
+		out[i] = Result{Node: int(s.V), Score: s.Score}
+	}
+	return out, nil
+}
+
+// ExactAllPairs computes converged SimRank for every pair with the
+// partial-sums iteration. O(n²) memory: small graphs only.
+func ExactAllPairs(g *Graph, c float64, iterations int) [][]float64 {
+	if c <= 0 || c >= 1 {
+		c = 0.6
+	}
+	if iterations <= 0 {
+		iterations = exact.IterationsFor(c, 1e-4)
+	}
+	m := exact.PartialSumsAllPairs(g.g, c, iterations)
+	out := make([][]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		row := make([]float64, m.N)
+		copy(row, m.Row(i))
+		out[i] = row
+	}
+	return out
+}
+
+func paramC(c float64) float64 {
+	if c <= 0 || c >= 1 {
+		return 0.6
+	}
+	return c
+}
+
+func paramT(t int) int {
+	if t <= 0 {
+		return 11
+	}
+	return t
+}
