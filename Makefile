@@ -1,0 +1,32 @@
+# Tier-1 verification gate. `make check` is what CI and pre-merge runs:
+# vet, build, full test suite, and a race pass over the concurrency-heavy
+# core package.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-json
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+# Query hot-path microbenchmarks (the 100k-vertex engine build takes a
+# couple of minutes the first time).
+bench:
+	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep' -run - ./internal/core
+
+# Regenerate the committed benchmark snapshot.
+bench-json:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep' -run - ./internal/core | \
+		/tmp/benchjson -meta pkg=internal/core -o BENCH_core.json

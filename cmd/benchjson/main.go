@@ -1,0 +1,69 @@
+// Command benchjson converts `go test -bench` output into the committed
+// BENCH_*.json format:
+//
+//	go test -bench 'TopK|OneSided|WalkStep' -run - ./internal/core | \
+//	    benchjson -meta note="query hot path" -o BENCH_core.json
+//
+// Repeat -meta to attach several key=value context entries (cpu, branch,
+// baseline numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+type metaFlags map[string]string
+
+func (m metaFlags) String() string { return fmt.Sprint(map[string]string(m)) }
+
+func (m metaFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("expected key=value, got %q", s)
+	}
+	m[k] = v
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	meta := metaFlags{}
+	flag.Var(meta, "meta", "key=value metadata entry (repeatable)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := bench.ParseGoBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines found on stdin")
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	report := bench.BenchReport{Results: results}
+	if len(meta) > 0 {
+		report.Meta = meta
+	}
+	if err := bench.WriteBenchJSON(w, report); err != nil {
+		log.Fatal(err)
+	}
+}

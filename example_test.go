@@ -2,6 +2,7 @@ package simrank_test
 
 import (
 	"fmt"
+	"sort"
 
 	simrank "repro"
 )
@@ -54,7 +55,11 @@ func ExampleIndex_SimilarityJoin() {
 		panic(err)
 	}
 	idx := simrank.BuildIndex(g, simrank.DefaultOptions())
-	for _, p := range idx.SimilarityJoin(0.05, 10) {
+	pairs := idx.SimilarityJoin(0.05, 10)
+	// Results come back score-descending; sort by vertex for stable output
+	// (the two pairs are symmetric, so their estimates are within noise).
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].U < pairs[j].U })
+	for _, p := range pairs {
 		fmt.Printf("%d ~ %d\n", p.U, p.V)
 	}
 	// Output:

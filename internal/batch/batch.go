@@ -47,6 +47,12 @@ type Job struct {
 // Run executes the job, writing one line per processed vertex to w.
 // Results are written in ascending vertex order regardless of the
 // parallel execution order, so output files are deterministic.
+//
+// Parallelism comes from running Params.Workers whole queries at once
+// (each query scores its candidates sequentially — the workers are already
+// saturated across vertices), which is the efficient arrangement for
+// throughput-bound batch work; per-query scoring parallelism only helps
+// latency-bound interactive queries.
 func Run(job Job, w io.Writer) (processed int, err error) {
 	if job.Engine == nil {
 		return 0, fmt.Errorf("batch: nil engine")

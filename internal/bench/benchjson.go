@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// JSON export of Go micro-benchmark results, so perf numbers can be
+// committed (BENCH_core.json) and diffed across PRs.
+
+// BenchResult is one parsed `go test -bench` result line.
+type BenchResult struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran with.
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present when the benchmark ran with
+	// -benchmem or b.ReportAllocs.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// BenchReport is the top-level BENCH_*.json document.
+type BenchReport struct {
+	// Meta carries free-form context: goos, goarch, cpu, baseline
+	// numbers, notes.
+	Meta    map[string]string `json:"meta,omitempty"`
+	Results []BenchResult     `json:"results"`
+}
+
+// ParseGoBench extracts benchmark result lines from `go test -bench`
+// output. Non-benchmark lines (pass/fail, goos, timing) are ignored.
+func ParseGoBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: name, iterations, value, "ns/op".
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Name: fields[0], Procs: 1, Iterations: iters}
+		if i := strings.LastIndex(fields[0], "-"); i > 0 {
+			if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+				res.Name, res.Procs = fields[0][:i], p
+			}
+		}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: bad value %q in %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesPerOp = int64(val)
+			case "allocs/op":
+				res.AllocsPerOp = int64(val)
+			}
+		}
+		if res.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// WriteBenchJSON writes the report as indented JSON.
+func WriteBenchJSON(w io.Writer, report BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

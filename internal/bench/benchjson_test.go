@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkTopK-4          	     313	   3779197 ns/op	 1165089 B/op	     244 allocs/op
+BenchmarkSinglePairOneSided-4   	   41556	     28750 ns/op	     416 B/op	       1 allocs/op
+BenchmarkWalkStep    	 2000000	       612.5 ns/op
+PASS
+ok  	repro/internal/core	95.1s
+`
+
+func TestParseGoBench(t *testing.T) {
+	res, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(res))
+	}
+	top := res[0]
+	if top.Name != "BenchmarkTopK" || top.Procs != 4 || top.Iterations != 313 {
+		t.Fatalf("first result: %+v", top)
+	}
+	if top.NsPerOp != 3779197 || top.BytesPerOp != 1165089 || top.AllocsPerOp != 244 {
+		t.Fatalf("first result metrics: %+v", top)
+	}
+	// No -P suffix: procs defaults to 1, memory fields to zero.
+	ws := res[2]
+	if ws.Name != "BenchmarkWalkStep" || ws.Procs != 1 || ws.NsPerOp != 612.5 || ws.AllocsPerOp != 0 {
+		t.Fatalf("walk-step result: %+v", ws)
+	}
+}
+
+func TestParseGoBenchBadValue(t *testing.T) {
+	_, err := ParseGoBench(strings.NewReader("BenchmarkX 10 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("bad value not rejected")
+	}
+}
+
+func TestWriteBenchJSONRoundTrip(t *testing.T) {
+	res, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report := BenchReport{Meta: map[string]string{"note": "test"}, Results: res}
+	if err := WriteBenchJSON(&buf, report); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta["note"] != "test" || len(back.Results) != len(res) {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.Results[0] != res[0] {
+		t.Fatalf("result changed in round trip: %+v vs %+v", back.Results[0], res[0])
+	}
+}

@@ -14,7 +14,8 @@ import (
 func (e *Engine) AllTopK(k int) [][]Scored {
 	out := make([][]Scored, e.g.N())
 	e.forEachVertexParallel(func(u uint32) {
-		out[u] = e.TopK(u, k)
+		res, _ := e.search(u, k, e.p.Theta, 1)
+		out[u] = res
 	})
 	return out
 }
@@ -23,7 +24,8 @@ func (e *Engine) AllTopK(k int) [][]Scored {
 // them; fn may be called concurrently from multiple goroutines.
 func (e *Engine) AllTopKFunc(k int, fn func(u uint32, res []Scored)) {
 	e.forEachVertexParallel(func(u uint32) {
-		fn(u, e.TopK(u, k))
+		res, _ := e.search(u, k, e.p.Theta, 1)
+		fn(u, res)
 	})
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/rng"
@@ -26,28 +27,33 @@ func (e *Engine) computeGammaAll() {
 	T := e.p.T
 	e.gamma = make([]float32, e.g.N()*T)
 	R := e.p.RGamma
-	e.parallelVertices(saltGamma, func(v uint32, r *rng.Source) {
-		e.computeGammaInto(v, R, r, e.gamma[int(v)*T:int(v)*T+T])
+	e.parallelVertices(saltGamma, func(v uint32, r *rng.Source, s *scratch) {
+		e.computeGammaInto(v, R, r, s, e.gamma[int(v)*T:int(v)*T+T])
 	})
 }
 
 // computeGammaInto runs Algorithm 3 for one vertex: R walks from v, and
 // for each step t, γ(v,t)² is estimated by Σ_w D_ww·(count_w/R)².
-func (e *Engine) computeGammaInto(v uint32, R int, r *rng.Source, out []float32) {
-	ws := newWalkSet(e.g, r, v, R)
-	cnt := make(map[uint32]int32, R)
+func (e *Engine) computeGammaInto(v uint32, R int, r *rng.Source, s *scratch, out []float32) {
+	pos := s.walkBuf(R)
+	resetWalks(pos, v)
 	invR2 := 1.0 / (float64(R) * float64(R))
 	for t := 0; t < e.p.T; t++ {
 		if t > 0 {
-			ws.step()
+			stepWalks(e.g, r, pos)
 		}
-		ws.counts(cnt)
+		s.beginTally()
+		for _, w := range pos {
+			if w != Dead {
+				s.tallyCount(w)
+			}
+		}
 		// Σ_w D_ww·c_w² accumulated in walk-slice order (each walk at w
 		// contributes D_ww·c_w once) so summation order is deterministic.
 		mu := 0.0
-		for _, w := range ws.pos {
+		for _, w := range pos {
 			if w != Dead {
-				mu += e.p.dval(w) * float64(cnt[w]) * invR2
+				mu += e.p.dval(w) * float64(s.cnt[w]) * invR2
 			}
 		}
 		out[t] = float32(math.Sqrt(mu))
@@ -75,109 +81,155 @@ func (e *Engine) L2Bound(u, v uint32) float64 {
 	return sum
 }
 
-// walkDist is the empirical distribution of the query vertex's walk
-// positions, P{u⁽ᵗ⁾ = w}, estimated from R walks. The query phase samples
-// it once per query (the paper's Algorithm 2 already performs these R =
-// RAlpha walks for the L1 bound) and reuses it both for β and as the
-// u-side of single-pair estimates, which removes the u-side sampling
-// noise from every candidate's score.
+// walkDist is the empirical (or exact) distribution of a vertex's walk
+// positions, P{u⁽ᵗ⁾ = w}, stored per step as parallel sorted slices:
+// verts[t] lists the support ascending and probs[t][i] the mass of
+// verts[t][i]. The flat layout replaces the old map[uint32]float64 per
+// step: tallies go through an epoch-marked dense scratch, lookups are
+// binary searches, and the backing arrays are reused across queries.
+//
+// The query phase samples one per query (the paper's Algorithm 2 already
+// performs these R = RAlpha walks for the L1 bound) and reuses it both for
+// β and as the u-side of single-pair estimates, which removes the u-side
+// sampling noise from every candidate's score.
 type walkDist struct {
-	T int
-	// probs[t] maps w -> estimated P{u⁽ᵗ⁾ = w}.
-	probs []map[uint32]float64
+	T     int
+	verts [][]uint32
+	probs [][]float64
 }
 
-// sampleWalkDist runs R walks from u and tabulates the per-step empirical
-// distributions.
-func (e *Engine) sampleWalkDist(u uint32, R int, r *rng.Source) *walkDist {
+// reset prepares the distribution for T steps, keeping backing arrays.
+func (wd *walkDist) reset(T int) {
+	wd.T = T
+	for len(wd.verts) < T {
+		wd.verts = append(wd.verts, nil)
+		wd.probs = append(wd.probs, nil)
+	}
+	wd.verts = wd.verts[:T]
+	wd.probs = wd.probs[:T]
+	for t := 0; t < T; t++ {
+		wd.verts[t] = wd.verts[t][:0]
+		wd.probs[t] = wd.probs[t][:0]
+	}
+}
+
+// support reports the number of vertices with nonzero mass at step t.
+func (wd *walkDist) support(t int) int { return len(wd.verts[t]) }
+
+// prob returns P{u⁽ᵗ⁾ = w} by binary search over the sorted support.
+func (wd *walkDist) prob(t int, w uint32) (float64, bool) {
+	vs := wd.verts[t]
+	i, ok := slices.BinarySearch(vs, w)
+	if !ok {
+		return 0, false
+	}
+	return wd.probs[t][i], true
+}
+
+// forEach calls fn for every (vertex, mass) of step t in ascending vertex
+// order.
+func (wd *walkDist) forEach(t int, fn func(w uint32, pr float64)) {
+	for i, w := range wd.verts[t] {
+		fn(w, wd.probs[t][i])
+	}
+}
+
+// sampleWalkDistInto runs R walks from u and tabulates the per-step
+// empirical distributions into wd, using s for tallies. Zero allocations
+// after the backing arrays have warmed up.
+func (e *Engine) sampleWalkDistInto(wd *walkDist, s *scratch, u uint32, R int, r *rng.Source) {
 	T := e.p.T
-	wd := &walkDist{T: T, probs: make([]map[uint32]float64, T)}
-	ws := newWalkSet(e.g, r, u, R)
-	cnt := make(map[uint32]int32, 256)
+	wd.reset(T)
+	pos := s.walkBuf(R)
+	resetWalks(pos, u)
 	invR := 1.0 / float64(R)
 	for t := 0; t < T; t++ {
 		if t > 0 {
-			ws.step()
+			stepWalks(e.g, r, pos)
 		}
-		ws.counts(cnt)
-		probs := make(map[uint32]float64, len(cnt))
-		for w, c := range cnt {
-			probs[w] = float64(c) * invR
-		}
-		wd.probs[t] = probs
-		if len(probs) == 0 {
-			for tt := t + 1; tt < T; tt++ {
-				wd.probs[tt] = map[uint32]float64{}
+		s.beginTally()
+		for _, w := range pos {
+			if w != Dead {
+				s.tallyCount(w)
 			}
-			break
+		}
+		if len(s.touched) == 0 {
+			break // all walks dead; remaining steps stay empty
+		}
+		slices.Sort(s.touched)
+		for _, w := range s.touched {
+			wd.verts[t] = append(wd.verts[t], w)
+			wd.probs[t] = append(wd.probs[t], float64(s.cnt[w])*invR)
 		}
 	}
-	return wd
 }
 
-// exactWalkDist computes the exact per-step walk distributions Pᵗe_u by
-// sparse propagation. It returns nil when any step's support exceeds
-// cap, signalling the caller to fall back to sampling.
-func (e *Engine) exactWalkDist(u uint32, cap int) *walkDist {
+// exactWalkDistInto computes the exact per-step walk distributions Pᵗe_u
+// by sparse propagation into wd. It returns false when any step's support
+// exceeds cap, signalling the caller to fall back to sampling (wd is then
+// in an unspecified state). Mass is propagated in ascending vertex order,
+// so the floating-point result is fully deterministic.
+func (e *Engine) exactWalkDistInto(wd *walkDist, s *scratch, u uint32, cap int) bool {
 	T := e.p.T
-	wd := &walkDist{T: T, probs: make([]map[uint32]float64, T)}
-	cur := map[uint32]float64{u: 1}
-	wd.probs[0] = cur
+	wd.reset(T)
+	s.ensureAcc()
+	wd.verts[0] = append(wd.verts[0], u)
+	wd.probs[0] = append(wd.probs[0], 1)
 	for t := 1; t < T; t++ {
-		next := make(map[uint32]float64, len(cur))
-		for w, mass := range cur {
+		prevV, prevP := wd.verts[t-1], wd.probs[t-1]
+		if len(prevV) == 0 {
+			break
+		}
+		s.beginTally()
+		for i, w := range prevV {
 			in := e.g.In(w)
 			if len(in) == 0 {
 				continue
 			}
-			share := mass / float64(len(in))
+			share := prevP[i] / float64(len(in))
 			for _, x := range in {
-				next[x] += share
+				s.addMass(x, share)
 			}
-			if len(next) > cap {
-				return nil
+			if len(s.touched) > cap {
+				return false
 			}
 		}
-		wd.probs[t] = next
-		cur = next
-		if len(cur) == 0 {
-			for tt := t + 1; tt < T; tt++ {
-				wd.probs[tt] = map[uint32]float64{}
-			}
-			break
+		slices.Sort(s.touched)
+		for _, w := range s.touched {
+			wd.verts[t] = append(wd.verts[t], w)
+			wd.probs[t] = append(wd.probs[t], s.acc[w])
 		}
 	}
-	return wd
+	return true
 }
 
 // dotSeries evaluates the truncated series deterministically from two
-// exact walk distributions: Σ_t cᵗ Σ_w xₜ(w)·D_ww·yₜ(w). The smaller
-// side is iterated in sorted key order so the floating-point summation
-// order — and therefore the result — is reproducible across runs.
+// walk distributions: Σ_t cᵗ Σ_w xₜ(w)·D_ww·yₜ(w). Both supports are
+// sorted, so this is a per-step merge join with a fixed summation order.
 func (e *Engine) dotSeries(x, y *walkDist) float64 {
-	var keys []uint32
 	sum := 0.0
 	ct := 1.0
 	for t := 0; t < e.p.T; t++ {
 		if t > 0 {
 			ct *= e.p.C
 		}
-		a, b := x.probs[t], y.probs[t]
-		if len(a) == 0 || len(b) == 0 {
+		xv, yv := x.verts[t], y.verts[t]
+		if len(xv) == 0 || len(yv) == 0 {
 			break
 		}
-		if len(b) < len(a) {
-			a, b = b, a
-		}
-		keys = keys[:0]
-		for w := range a {
-			if _, ok := b[w]; ok {
-				keys = append(keys, w)
+		xp, yp := x.probs[t], y.probs[t]
+		i, j := 0, 0
+		for i < len(xv) && j < len(yv) {
+			switch {
+			case xv[i] < yv[j]:
+				i++
+			case xv[i] > yv[j]:
+				j++
+			default:
+				sum += ct * e.p.dval(xv[i]) * xp[i] * yp[j]
+				i++
+				j++
 			}
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, w := range keys {
-			sum += ct * e.p.dval(w) * a[w] * b[w]
 		}
 	}
 	return sum
@@ -191,22 +243,24 @@ type l1Table struct {
 }
 
 // computeL1From evaluates Algorithm 2's α and β from a sampled walk
-// distribution. dist maps vertices to their undirected distance from the
-// query. exploredRadius is the distance up to which dist is complete:
-// every vertex at distance ≤ exploredRadius appears in dist. Support
-// vertices absent from dist (possible when the local BFS was truncated by
-// the ball budget) are folded into a per-step overflow maximum so that β
-// remains a valid upper bound.
-func (e *Engine) computeL1From(wd *walkDist, dist map[uint32]int32, exploredRadius int) *l1Table {
+// distribution. dist is the dense undirected-distance array of the query's
+// local ball (-1 = not discovered). exploredRadius is the distance up to
+// which dist is complete: every vertex at distance ≤ exploredRadius has a
+// non-negative entry. Support vertices with no distance (possible when the
+// local BFS was truncated by the ball budget) are folded into a per-step
+// overflow maximum so that β remains a valid upper bound. The returned
+// table aliases s and is valid until the scratch's next query.
+func (e *Engine) computeL1From(s *scratch, wd *walkDist, dist []int32, exploredRadius int) *l1Table {
 	T, dmax := e.p.T, e.p.DMax
 	// alpha[d*T + t] = α(u, d, t).
-	alpha := make([]float64, (dmax+1)*T)
-	overflow := make([]float64, T)
-	for t := 0; t < T && t < len(wd.probs); t++ {
-		for w, pr := range wd.probs[t] {
-			val := e.p.dval(w) * pr
-			d, ok := dist[w]
-			if !ok || int(d) > dmax {
+	s.alpha = floatBuf(s.alpha, (dmax+1)*T)
+	s.overflow = floatBuf(s.overflow, T)
+	alpha, overflow := s.alpha, s.overflow
+	for t := 0; t < T; t++ {
+		for i, w := range wd.verts[t] {
+			val := e.p.dval(w) * wd.probs[t][i]
+			d := dist[w]
+			if d < 0 || int(d) > dmax {
 				// Distance unknown (truncated BFS) or beyond DMax:
 				// account for it conservatively.
 				if val > overflow[t] {
@@ -221,7 +275,8 @@ func (e *Engine) computeL1From(wd *walkDist, dist map[uint32]int32, exploredRadi
 	}
 	// β(u, d) = Σ_t cᵗ · max_{max(0,d−t) ≤ d' ≤ min(dmax,d+t)} α(u, d', t),
 	// where distances beyond exploredRadius use the overflow maximum.
-	tbl := &l1Table{dmax: dmax, beta: make([]float64, dmax+1)}
+	s.l1.dmax = dmax
+	s.l1.beta = floatBuf(s.l1.beta, dmax+1)
 	for d := 0; d <= dmax; d++ {
 		sum := 0.0
 		ct := 1.0
@@ -245,9 +300,9 @@ func (e *Engine) computeL1From(wd *walkDist, dist map[uint32]int32, exploredRadi
 			sum += ct * best
 			ct *= e.p.C
 		}
-		tbl.beta[d] = sum
+		s.l1.beta[d] = sum
 	}
-	return tbl
+	return &s.l1
 }
 
 // bound returns β(u, d) for distance d, or +Inf when d exceeds the table.
@@ -284,8 +339,18 @@ func (e *Engine) DistanceBound(d int) float64 {
 // evaluated at distance d(u,v). Exposed for tests and ablation studies;
 // the query phase shares one table across all candidates.
 func (e *Engine) L1Bound(u uint32, d int) float64 {
-	dist := e.g.UndirectedBall(u, e.p.DMax)
-	wd := e.sampleWalkDist(u, e.p.RAlpha, e.queryRNG(u))
-	tbl := e.computeL1From(wd, dist, e.p.DMax)
+	s := e.getScratch()
+	defer e.putScratch(s)
+	dist := s.distBuf()
+	s.ball, _ = e.g.UndirectedBallInto(u, e.p.DMax, -1, dist, s.ball[:0])
+	defer s.resetDist()
+	e.sampleWalkDistInto(&s.wd, s, u, e.p.RAlpha, e.queryRNG(u))
+	tbl := e.computeL1From(s, &s.wd, dist, e.p.DMax)
 	return tbl.bound(d)
+}
+
+// sortScoredDesc orders scored results best-first with the deterministic
+// tie-break used across the package.
+func sortScoredDesc(xs []Scored) {
+	sort.Slice(xs, func(i, j int) bool { return scoredLess(xs[j], xs[i]) })
 }

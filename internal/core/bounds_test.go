@@ -54,20 +54,26 @@ func TestL1BoundDominatesScore(t *testing.T) {
 	d := exact.UniformDiagonal(g.N(), e.p.C)
 	r := e.queryRNG(0)
 	violations, checked := 0, 0
+	s := e.getScratch()
+	defer e.putScratch(s)
 	for _, u := range []uint32{0, 11, 42} {
-		dist := g.UndirectedBall(u, e.p.DMax)
-		tbl := e.computeL1From(e.sampleWalkDist(u, e.p.RAlpha, r), dist, e.p.DMax)
+		dist := s.distBuf()
+		s.ball, _ = g.UndirectedBallInto(u, e.p.DMax, -1, dist, s.ball[:0])
+		e.sampleWalkDistInto(&s.wd, s, u, e.p.RAlpha, r)
+		tbl := e.computeL1From(s, &s.wd, dist, e.p.DMax)
 		row := exact.SingleSource(g, d, e.p.C, e.p.T, u)
-		for v, dd := range dist {
+		for _, v := range s.ball {
 			if v == u {
 				continue
 			}
+			dd := dist[v]
 			checked++
 			if row[v] > tbl.bound(int(dd))+0.02 {
 				violations++
 				t.Logf("u=%d v=%d d=%d: score %v > beta %v", u, v, dd, row[v], tbl.bound(int(dd)))
 			}
 		}
+		s.resetDist()
 	}
 	if checked == 0 {
 		t.Fatal("no pairs checked")

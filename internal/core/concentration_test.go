@@ -39,11 +39,13 @@ func TestSinglePairConcentration(t *testing.T) {
 	want := exact.SinglePair(g, d, e.p.C, e.p.T, u, v)
 
 	const trials = 300
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 	run := func(R int) (mean, std float64) {
 		r := rng.New(99)
 		var sum, sumsq float64
 		for i := 0; i < trials; i++ {
-			s := e.singlePairR(u, v, R, r)
+			s := e.singlePairR(u, v, R, r, sc)
 			sum += s
 			sumsq += s * s
 		}
@@ -73,22 +75,24 @@ func TestGammaEstimatorUnbiasedness(t *testing.T) {
 	e := New(g, p)
 
 	v := uint32(250)
-	wd := e.exactWalkDist(v, 1<<20)
-	if wd == nil {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	var wd walkDist
+	if !e.exactWalkDistInto(&wd, sc, v, 1<<20) {
 		t.Fatal("support cap hit unexpectedly")
 	}
 	tt := 3
 	exactG2 := 0.0
-	for w, pr := range wd.probs[tt] {
+	wd.forEach(tt, func(w uint32, pr float64) {
 		exactG2 += e.p.dval(w) * pr * pr
-	}
+	})
 
 	estimate := func(R, trials int) float64 {
 		r := rng.New(7)
 		out := make([]float32, p.T)
 		sum := 0.0
 		for i := 0; i < trials; i++ {
-			e.computeGammaInto(v, R, r, out)
+			e.computeGammaInto(v, R, r, sc, out)
 			sum += float64(out[tt]) * float64(out[tt])
 		}
 		return sum / float64(trials)
@@ -130,8 +134,10 @@ func TestOneSidedVarianceReduction(t *testing.T) {
 	}
 	const trials = 250
 	r := rng.New(5)
-	wd := e.exactWalkDist(u, 1<<20)
-	if wd == nil {
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	var wd walkDist
+	if !e.exactWalkDistInto(&wd, sc, u, 1<<20) {
 		t.Fatal("support cap hit")
 	}
 	variance := func(f func() float64) float64 {
@@ -144,8 +150,8 @@ func TestOneSidedVarianceReduction(t *testing.T) {
 		mean := sum / trials
 		return sumsq/trials - mean*mean
 	}
-	varTwo := variance(func() float64 { return e.singlePairR(u, v, 100, r) })
-	varOne := variance(func() float64 { return e.singlePairOneSided(wd, v, 100, r) })
+	varTwo := variance(func() float64 { return e.singlePairR(u, v, 100, r, sc) })
+	varOne := variance(func() float64 { return e.singlePairOneSided(sc, &wd, v, 100, r) })
 	if varOne > varTwo {
 		t.Fatalf("one-sided variance %v not below two-sided %v", varOne, varTwo)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -15,9 +16,75 @@ func coreBenchEngine(b *testing.B) *Engine {
 	return Build(g, p)
 }
 
+// The 100k-vertex query benchmark graph is expensive to preprocess, so all
+// query-path benchmarks share one engine.
+var (
+	benchOnce   sync.Once
+	benchEngine *Engine
+)
+
+func bigBenchEngine(b *testing.B) *Engine {
+	b.Helper()
+	benchOnce.Do(func() {
+		g := graph.CopyingModel(100000, 8, 0.3, 1)
+		p := DefaultParams()
+		p.Seed = 1
+		p.Workers = 4
+		benchEngine = Build(g, p)
+	})
+	return benchEngine
+}
+
+// BenchmarkTopK is the headline end-to-end query benchmark: top-20 search
+// on a 100k-vertex graph with the full pruning stack.
+func BenchmarkTopK(b *testing.B) {
+	e := bigBenchEngine(b)
+	n := uint32(e.Graph().N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TopK(uint32(i*7919+13)%n, 20)
+	}
+}
+
+// BenchmarkSinglePairOneSided measures the per-candidate scoring kernel:
+// one RScore-walk estimate against a prepared query-side distribution.
+func BenchmarkSinglePairOneSided(b *testing.B) {
+	e := bigBenchEngine(b)
+	n := uint32(e.Graph().N())
+	s := e.getScratch()
+	defer e.putScratch(s)
+	r := rng.New(1)
+	e.sampleWalkDistInto(&s.wd, s, 42, e.p.RAlpha, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.singlePairOneSided(s, &s.wd, uint32(i*31+5)%n, e.p.RScore, r)
+	}
+}
+
+// BenchmarkWalkStep measures the raw Monte-Carlo workhorse: advancing
+// RScore walks one in-link step.
+func BenchmarkWalkStep(b *testing.B) {
+	e := bigBenchEngine(b)
+	s := e.getScratch()
+	defer e.putScratch(s)
+	pos := s.walkBuf(e.p.RScore)
+	resetWalks(pos, 42)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if stepWalks(e.g, r, pos) == 0 {
+			resetWalks(pos, 42)
+		}
+	}
+}
+
 func BenchmarkSinglePairAlg1(b *testing.B) {
 	e := coreBenchEngine(b)
 	n := uint32(e.Graph().N())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.SinglePairR(uint32(i)%n, uint32(i*13+7)%n, 100)
@@ -28,9 +95,12 @@ func BenchmarkSampleWalkDist(b *testing.B) {
 	e := coreBenchEngine(b)
 	r := rng.New(1)
 	n := uint32(e.Graph().N())
+	s := e.getScratch()
+	defer e.putScratch(s)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.sampleWalkDist(uint32(i)%n, e.p.RAlpha, r)
+		e.sampleWalkDistInto(&s.wd, s, uint32(i)%n, e.p.RAlpha, r)
 	}
 }
 
@@ -38,11 +108,16 @@ func BenchmarkComputeL1(b *testing.B) {
 	e := coreBenchEngine(b)
 	r := rng.New(1)
 	u := uint32(42)
-	dist := e.Graph().UndirectedBall(u, e.p.DMax)
-	wd := e.sampleWalkDist(u, e.p.RAlpha, r)
+	s := e.getScratch()
+	defer e.putScratch(s)
+	dist := s.distBuf()
+	s.ball, _ = e.Graph().UndirectedBallInto(u, e.p.DMax, -1, dist, s.ball[:0])
+	defer s.resetDist()
+	e.sampleWalkDistInto(&s.wd, s, u, e.p.RAlpha, r)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.computeL1From(wd, dist, e.p.DMax)
+		e.computeL1From(s, &s.wd, dist, e.p.DMax)
 	}
 }
 
@@ -62,10 +137,13 @@ func BenchmarkGammaPreprocessPerVertex(b *testing.B) {
 	p := DefaultParams()
 	e := New(g, p)
 	r := rng.New(3)
+	s := e.getScratch()
+	defer e.putScratch(s)
 	out := make([]float32, p.T)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.computeGammaInto(uint32(i%g.N()), p.RGamma, r, out)
+		e.computeGammaInto(uint32(i%g.N()), p.RGamma, r, s, out)
 	}
 }
 

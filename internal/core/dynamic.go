@@ -194,15 +194,16 @@ func (d *DynamicEngine) refreshLocked() error {
 	ri := make([][]uint32, d.n)
 	copy(ri, d.eng.idx.right)
 	r := rng.New(ne.p.Seed)
-	scratch := newIndexScratch(T, ne.p.Q)
+	s := ne.getScratch()
 	for v := range affected {
 		if ne.gamma != nil {
 			r.Seed(ne.vertexSeed(saltGamma, v))
-			ne.computeGammaInto(v, ne.p.RGamma, r, ne.gamma[int(v)*T:int(v)*T+T])
+			ne.computeGammaInto(v, ne.p.RGamma, r, s, ne.gamma[int(v)*T:int(v)*T+T])
 		}
 		r.Seed(ne.vertexSeed(saltIndex, v))
-		ri[v] = ne.buildIndexEntry(v, r, scratch)
+		ri[v] = ne.buildIndexEntry(v, r, s.indexScratch(T, ne.p.Q))
 	}
+	ne.putScratch(s)
 	idx := &candidateIndex{right: ri}
 	idx.buildInverted(d.n)
 	ne.idx = idx

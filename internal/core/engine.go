@@ -13,7 +13,9 @@ import (
 // bipartite candidate index) and answers top-k similarity queries.
 //
 // Build an Engine once with Build, then issue queries from any number of
-// goroutines: queries do not mutate the engine.
+// goroutines: queries do not mutate the engine, and every query draws its
+// working buffers from a shared sync.Pool, so steady-state queries are
+// (nearly) allocation-free.
 type Engine struct {
 	g *graph.Graph
 	p Params
@@ -25,6 +27,9 @@ type Engine struct {
 	// idx lists each left vertex's right-neighbours; inv is the
 	// inverted (right -> left) direction used for candidate joins.
 	idx *candidateIndex
+
+	// pool recycles query/preprocess scratch buffers (see scratch.go).
+	pool sync.Pool
 
 	stats PreprocessStats
 }
@@ -52,7 +57,10 @@ func Build(g *graph.Graph, p Params) *Engine {
 // immediately; TopK and Threshold queries require Preprocess first unless
 // Params.Strategy is CandidatesBall and the L2 bound is disabled.
 func New(g *graph.Graph, p Params) *Engine {
-	return &Engine{g: g, p: p.normalized()}
+	e := &Engine{g: g, p: p.normalized()}
+	n := g.N()
+	e.pool.New = func() any { return newScratch(n) }
+	return e
 }
 
 // Graph returns the engine's graph.
@@ -85,12 +93,14 @@ func (e *Engine) Preprocess() {
 	}
 }
 
-// phase salts keep the RNG streams of the two preprocess passes disjoint
-// (and reproducible per vertex regardless of worker count or whether a
-// vertex is recomputed incrementally).
+// phase salts keep the RNG streams of the preprocess passes and the
+// per-candidate scoring streams disjoint (and reproducible per vertex
+// regardless of worker count or whether a vertex is recomputed
+// incrementally).
 const (
 	saltGamma = 0x6a09e667f3bcc909
 	saltIndex = 0xbb67ae8584caa73b
+	saltScore = 0xa54ff53a5f1d36f1
 )
 
 // vertexSeed derives the deterministic RNG seed for one vertex in one
@@ -99,10 +109,27 @@ func (e *Engine) vertexSeed(phase uint64, v uint32) uint64 {
 	return e.p.Seed ^ phase ^ (0x9e3779b97f4a7c15 * uint64(v+1))
 }
 
-// parallelVertices runs fn(v) for every vertex, sharded over workers.
-// The RNG handed to fn is re-seeded per vertex (not per worker), so
-// results are independent of the worker count.
-func (e *Engine) parallelVertices(phase uint64, fn func(v uint32, r *rng.Source)) {
+// pairSeed derives the deterministic RNG seed for the ordered pair (u, v).
+// The pair is packed into one 64-bit word and mixed through a splitmix64
+// finalizer, so distinct pairs get distinct, well-separated streams. (The
+// previous scheme hashed u ^ (v<<1), which collides for families like
+// (0,1)/(2,0): any pairs with equal u⊕(v<<1) shared a walk stream.)
+func (e *Engine) pairSeed(u, v uint32) uint64 {
+	return e.p.Seed ^ rng.Mix(uint64(u)<<32|uint64(v))
+}
+
+// candSeed derives the per-candidate scoring seed for candidate v of a
+// query at u. Seeding per candidate (not per query) makes a candidate's
+// score independent of evaluation order — and hence of Params.Workers.
+func (e *Engine) candSeed(u, v uint32) uint64 {
+	return e.p.Seed ^ saltScore ^ rng.Mix(uint64(u)<<32|uint64(v))
+}
+
+// parallelVertices runs fn for every vertex, sharded over workers in
+// contiguous blocks so each worker scans a cache-local CSR range. The RNG
+// handed to fn is re-seeded per vertex (not per worker) and the scratch is
+// per worker, so results are independent of the worker count.
+func (e *Engine) parallelVertices(phase uint64, fn func(v uint32, r *rng.Source, s *scratch)) {
 	n := e.g.N()
 	workers := e.p.Workers
 	if workers > n {
@@ -110,23 +137,31 @@ func (e *Engine) parallelVertices(phase uint64, fn func(v uint32, r *rng.Source)
 	}
 	if workers <= 1 {
 		r := rng.New(e.p.Seed)
+		s := e.getScratch()
+		defer e.putScratch(s)
 		for v := 0; v < n; v++ {
 			r.Seed(e.vertexSeed(phase, uint32(v)))
-			fn(uint32(v), r)
+			fn(uint32(v), r, s)
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo >= hi {
+			continue
+		}
 		wg.Add(1)
-		go func(shard int) {
+		go func(lo, hi int) {
 			defer wg.Done()
 			r := rng.New(0)
-			for v := shard; v < n; v += workers {
+			s := e.getScratch()
+			defer e.putScratch(s)
+			for v := lo; v < hi; v++ {
 				r.Seed(e.vertexSeed(phase, uint32(v)))
-				fn(uint32(v), r)
+				fn(uint32(v), r, s)
 			}
-		}(w)
+		}(lo, hi)
 	}
 	wg.Wait()
 }

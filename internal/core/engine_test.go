@@ -62,7 +62,7 @@ func TestParallelVerticesVisitsAllOnce(t *testing.T) {
 		e := New(g, p)
 		var mu sync.Mutex
 		visits := make(map[uint32]int)
-		e.parallelVertices(saltGamma, func(v uint32, r *rng.Source) {
+		e.parallelVertices(saltGamma, func(v uint32, r *rng.Source, s *scratch) {
 			mu.Lock()
 			visits[v]++
 			mu.Unlock()

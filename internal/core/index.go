@@ -26,8 +26,8 @@ func (e *Engine) buildIndex() {
 	T, Q := e.p.T, e.p.Q
 	idx := &candidateIndex{right: make([][]uint32, n)}
 
-	e.parallelVertices(saltIndex, func(u uint32, r *rng.Source) {
-		idx.right[u] = e.buildIndexEntry(u, r, newIndexScratch(T, Q))
+	e.parallelVertices(saltIndex, func(u uint32, r *rng.Source, s *scratch) {
+		idx.right[u] = e.buildIndexEntry(u, r, s.indexScratch(T, Q))
 	})
 
 	idx.buildInverted(n)
@@ -122,22 +122,18 @@ func (ci *candidateIndex) buildInverted(n int) {
 	}
 }
 
-// candidates appends to out every left vertex sharing a right neighbour
-// with u (excluding u itself), deduplicated via the seen scratch map.
-func (ci *candidateIndex) candidates(u uint32, seen map[uint32]struct{}, out []uint32) []uint32 {
+// appendCandidates appends to out every left vertex sharing a right
+// neighbour with u, deduplicated through the scratch's current epoch tally
+// (the caller pre-marks u, so u never lists itself).
+func (ci *candidateIndex) appendCandidates(u uint32, s *scratch, out []uint32) []uint32 {
 	if ci == nil {
 		return out
 	}
 	for _, w := range ci.right[u] {
 		for _, v := range ci.left[w] {
-			if v == u {
-				continue
+			if !s.checkSeen(v) {
+				out = append(out, v)
 			}
-			if _, ok := seen[v]; ok {
-				continue
-			}
-			seen[v] = struct{}{}
-			out = append(out, v)
 		}
 	}
 	return out

@@ -23,7 +23,9 @@ func (e *Engine) SimilarityJoin(theta float64, maxPairs int) []JoinPair {
 	seen := make(map[uint64]float64)
 
 	e.forEachVertexParallel(func(u uint32) {
-		res := e.Threshold(u, theta)
+		// Workers are already saturated across query vertices; each inner
+		// query runs sequentially to avoid nested parallelism.
+		res, _ := e.search(u, 0, theta, 1)
 		if len(res) == 0 {
 			return
 		}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // QueryStats reports what the pruning machinery did during one query;
@@ -18,6 +20,37 @@ type QueryStats struct {
 	Refined int
 }
 
+// boundedCand is a candidate with its upper bound, ready for sorting.
+type boundedCand struct {
+	v  uint32
+	ub float64
+}
+
+// candScore is the outcome of scoring one candidate.
+type candScore struct {
+	score float64
+	state uint8
+}
+
+const (
+	candScored      = uint8(iota) // full estimate in score
+	candRoughPruned               // cut by the rough adaptive estimate
+)
+
+// scoreBlock is the number of bound-ordered candidates scored between two
+// re-evaluations of the pruning floor. It is a fixed constant — NOT a
+// function of Params.Workers — which is what makes parallel scoring
+// deterministic: the floor each candidate observes depends only on the
+// candidates in earlier blocks, never on scheduling. A racy shared floor
+// would be tighter on average, but rough-prune decisions reading it would
+// differ run to run; with 64-candidate blocks the floor staleness costs a
+// few extra refinements per query while keeping results byte-identical
+// across worker counts.
+const scoreBlock = 64
+
+// minParallelScore is the smallest block worth fanning out to goroutines.
+const minParallelScore = 16
+
 // TopK answers Problem 1: the k vertices most similar to u, best first.
 // Requires a preprocessed engine (see Build).
 func (e *Engine) TopK(u uint32, k int) []Scored {
@@ -27,20 +60,25 @@ func (e *Engine) TopK(u uint32, k int) []Scored {
 
 // TopKStats is TopK plus pruning statistics.
 func (e *Engine) TopKStats(u uint32, k int) ([]Scored, QueryStats) {
-	return e.search(u, k, e.p.Theta)
+	return e.search(u, k, e.p.Theta, e.p.Workers)
 }
 
 // Threshold returns every vertex whose estimated score is at least theta,
 // best first. This is the query mode used by the accuracy experiment
 // (Section 8.2), where the paper counts recovered "high score" vertices.
 func (e *Engine) Threshold(u uint32, theta float64) []Scored {
-	res, _ := e.search(u, 0, theta)
+	res, _ := e.search(u, 0, theta, e.p.Workers)
 	return res
 }
 
-// search implements Algorithm 5 (QUERY). k == 0 means unlimited.
-func (e *Engine) search(u uint32, k int, theta float64) ([]Scored, QueryStats) {
+// search implements Algorithm 5 (QUERY). k == 0 means unlimited. workers
+// is the candidate-scoring fan-out; callers that already parallelize
+// across queries (AllTopK, SimilarityJoin, batch) pass 1 to avoid nested
+// parallelism.
+func (e *Engine) search(u uint32, k int, theta float64, workers int) ([]Scored, QueryStats) {
 	var stats QueryStats
+	qs := e.getScratch()
+	defer e.putScratch(qs)
 	r := e.queryRNG(u)
 
 	// Local distances around the query, used by the L1 and distance
@@ -48,16 +86,16 @@ func (e *Engine) search(u uint32, k int, theta float64) ([]Scored, QueryStats) {
 	// this BFS local on high-expansion graphs; truncation only weakens
 	// the L1/distance bounds (candidates fall back to L2), never
 	// correctness.
-	dist, truncated := e.g.UndirectedBallBudget(u, e.p.DMax, e.p.BallBudget)
+	dist := qs.distBuf()
+	var truncated bool
+	qs.ball, truncated = e.g.UndirectedBallInto(u, e.p.DMax, e.p.BallBudget, dist, qs.ball[:0])
+	defer qs.resetDist()
 	exploredRadius := e.p.DMax
-	if truncated {
-		exploredRadius = -1
-		for _, d := range dist {
-			if int(d) > exploredRadius {
-				exploredRadius = int(d)
-			}
-		}
-		exploredRadius-- // the deepest discovered level may be incomplete
+	if truncated && len(qs.ball) > 0 {
+		// BFS visits vertices in nondecreasing distance order, so the last
+		// ball entry carries the deepest discovered level — which may be
+		// incomplete when the budget cut the search short.
+		exploredRadius = int(dist[qs.ball[len(qs.ball)-1]]) - 1
 	}
 
 	// One batch of RAlpha walks from u serves double duty: Algorithm 2's
@@ -65,34 +103,27 @@ func (e *Engine) search(u uint32, k int, theta float64) ([]Scored, QueryStats) {
 	// single-pair estimate. In exact-scoring mode the sampled
 	// distribution is replaced by the true sparse one when its support
 	// stays under the cap.
-	var wd *walkDist
+	wd := &qs.wd
 	exactU := false
-	if e.p.ExactScoring {
-		if xd := e.exactWalkDist(u, e.p.ExactSupportCap); xd != nil {
-			wd, exactU = xd, true
-		}
-	}
-	if wd == nil {
-		wd = e.sampleWalkDist(u, e.p.RAlpha, r)
+	if e.p.ExactScoring && e.exactWalkDistInto(wd, qs, u, e.p.ExactSupportCap) {
+		exactU = true
+	} else {
+		e.sampleWalkDistInto(wd, qs, u, e.p.RAlpha, r)
 	}
 	var l1 *l1Table
 	if !e.p.DisableL1 {
-		l1 = e.computeL1From(wd, dist, exploredRadius)
+		l1 = e.computeL1From(qs, wd, dist, exploredRadius)
 	}
 
-	cands := e.collectCandidates(u, dist)
+	cands := e.collectCandidates(qs, u, dist, qs.ball)
 	stats.Candidates = len(cands)
 
 	// Upper-bound each candidate and process in descending bound order,
 	// so the scan can stop at the first bound below the pruning floor.
-	type bounded struct {
-		v  uint32
-		ub float64
-	}
-	bs := make([]bounded, 0, len(cands))
+	bs := qs.bounds[:0]
 	for _, v := range cands {
 		ub := math.Inf(1)
-		if d, ok := dist[v]; ok {
+		if d := dist[v]; d >= 0 {
 			if b := e.DistanceBound(int(d)); b < ub {
 				ub = b
 			}
@@ -105,90 +136,161 @@ func (e *Engine) search(u uint32, k int, theta float64) ([]Scored, QueryStats) {
 				ub = b
 			}
 		}
-		bs = append(bs, bounded{v, ub})
+		bs = append(bs, boundedCand{v, ub})
 	}
-	sort.Slice(bs, func(i, j int) bool {
-		if bs[i].ub != bs[j].ub {
-			return bs[i].ub > bs[j].ub
+	qs.bounds = bs
+	slices.SortFunc(bs, func(a, b boundedCand) int {
+		switch {
+		case a.ub > b.ub:
+			return -1
+		case a.ub < b.ub:
+			return 1
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
 		}
-		return bs[i].v < bs[j].v
+		return 0
 	})
 
 	acc := newTopKAcc(k)
 	if k == 0 {
 		acc = newTopKAcc(len(bs)) // unlimited: keep everything above theta
 	}
-	for i, b := range bs {
+	scores := qs.scores
+	for i := 0; i < len(bs); {
+		// The pruning floor is re-evaluated once per block, from fully
+		// merged results only — deterministic regardless of workers.
 		floor := theta
 		if k > 0 && acc.kth() > floor {
 			floor = acc.kth()
 		}
-		if b.ub < floor {
+		if bs[i].ub < floor {
 			stats.PrunedByBound += len(bs) - i
 			break
 		}
-		var score float64
-		scored := false
-		if exactU {
-			// Deterministic scoring: propagate the candidate side
-			// exactly too when its support allows it.
-			if yd := e.exactWalkDist(b.v, e.p.ExactSupportCap); yd != nil {
-				score = e.dotSeries(wd, yd)
-				scored = true
-				stats.Refined++
-			}
+		end := i + scoreBlock
+		if end > len(bs) {
+			end = len(bs)
 		}
-		if scored {
-			// fall through to the threshold check below
-		} else if e.p.DisableAdaptive {
-			score = e.singlePairOneSided(wd, b.v, e.p.RScore, r)
-			stats.Refined++
+		// Bounds are sorted descending: trim the block's tail below the
+		// floor now, so workers never score a candidate the sequential
+		// path would have bound-pruned at this floor.
+		for end > i && bs[end-1].ub < floor {
+			end--
+		}
+		block := bs[i:end]
+		if cap(scores) < len(block) {
+			scores = make([]candScore, len(block))
 		} else {
-			// "not small" (paper §7.2): keep the candidate when the
-			// rough estimate reaches 0.3x the pruning floor — at
-			// RRough = 10 the estimate is noisy, and a tighter cut
-			// measurably costs recall on borderline candidates.
-			rough := e.singlePairOneSided(wd, b.v, e.p.RRough, r)
-			if rough < 0.3*floor {
-				stats.PrunedByRough++
-				continue
+			scores = scores[:len(block)]
+		}
+		if workers > 1 && len(block) >= minParallelScore {
+			e.scoreBlockParallel(block, scores, u, wd, floor, exactU, workers)
+		} else {
+			for j, b := range block {
+				scores[j] = e.scoreCandidate(qs, wd, u, b.v, floor, exactU)
 			}
-			score = e.singlePairOneSided(wd, b.v, e.p.RScore, r)
-			stats.Refined++
 		}
-		if score >= theta {
-			acc.add(Scored{b.v, score})
+		// Merge sequentially in bound order, exactly as the sequential
+		// path would have.
+		for j, b := range block {
+			switch scores[j].state {
+			case candRoughPruned:
+				stats.PrunedByRough++
+			default:
+				stats.Refined++
+				if scores[j].score >= theta {
+					acc.add(Scored{b.v, scores[j].score})
+				}
+			}
 		}
+		i = end
 	}
+	qs.scores = scores
 	return acc.result(), stats
 }
 
+// scoreBlockParallel fans one block of candidates out to workers. Each
+// candidate's walks come from its own pair-seeded stream (candSeed), so
+// which goroutine scores it — and in what order — cannot change its score.
+func (e *Engine) scoreBlockParallel(block []boundedCand, scores []candScore, u uint32, wd *walkDist, floor float64, exactU bool, workers int) {
+	if workers > len(block) {
+		workers = len(block)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.getScratch()
+			defer e.putScratch(s)
+			for {
+				j := int(cursor.Add(1)) - 1
+				if j >= len(block) {
+					return
+				}
+				scores[j] = e.scoreCandidate(s, wd, u, block[j].v, floor, exactU)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scoreCandidate produces the estimate (or rough-prune verdict) for one
+// candidate v of a query at u. The candidate's RNG is seeded from (u, v),
+// never shared, so the result is a pure function of the engine state.
+func (e *Engine) scoreCandidate(s *scratch, wd *walkDist, u, v uint32, floor float64, exactU bool) candScore {
+	if exactU {
+		// Deterministic scoring: propagate the candidate side exactly too
+		// when its support allows it.
+		if e.exactWalkDistInto(&s.wd2, s, v, e.p.ExactSupportCap) {
+			return candScore{e.dotSeries(wd, &s.wd2), candScored}
+		}
+	}
+	s.rng.Seed(e.candSeed(u, v))
+	if e.p.DisableAdaptive {
+		return candScore{e.singlePairOneSided(s, wd, v, e.p.RScore, &s.rng), candScored}
+	}
+	// "not small" (paper §7.2): keep the candidate when the rough
+	// estimate reaches 0.3x the pruning floor — at RRough = 10 the
+	// estimate is noisy, and a tighter cut measurably costs recall on
+	// borderline candidates.
+	rough := e.singlePairOneSided(s, wd, v, e.p.RRough, &s.rng)
+	if rough < 0.3*floor {
+		return candScore{0, candRoughPruned}
+	}
+	return candScore{e.singlePairOneSided(s, wd, v, e.p.RScore, &s.rng), candScored}
+}
+
 // collectCandidates enumerates candidate vertices for the query according
-// to Params.Strategy.
-func (e *Engine) collectCandidates(u uint32, dist map[uint32]int32) []uint32 {
-	seen := make(map[uint32]struct{}, 64)
-	var out []uint32
+// to Params.Strategy, deduplicated through the scratch's epoch marks. The
+// returned slice aliases qs.cands.
+func (e *Engine) collectCandidates(qs *scratch, u uint32, dist []int32, ball []uint32) []uint32 {
+	out := qs.cands[:0]
+	qs.beginTally()
+	qs.checkSeen(u) // never a candidate of itself
 	switch e.p.Strategy {
 	case CandidatesIndex:
-		out = e.idx.candidates(u, seen, out)
+		out = e.idx.appendCandidates(u, qs, out)
 	case CandidatesBall:
-		for v := range dist {
-			if v != u {
+		for _, v := range ball {
+			if !qs.checkSeen(v) {
 				out = append(out, v)
 			}
 		}
 	case CandidatesHybrid:
-		out = e.idx.candidates(u, seen, out)
-		for v, d := range dist {
-			if v == u || d > 2 {
-				continue
+		out = e.idx.appendCandidates(u, qs, out)
+		for _, v := range ball {
+			if dist[v] > 2 {
+				break // BFS order: everything after is at least as far
 			}
-			if _, ok := seen[v]; ok {
-				continue
+			if !qs.checkSeen(v) {
+				out = append(out, v)
 			}
-			seen[v] = struct{}{}
-			out = append(out, v)
 		}
 	}
+	qs.cands = out
 	return out
 }

@@ -121,9 +121,17 @@ func TestHybridSupersetOfIndex(t *testing.T) {
 	ph.Strategy = CandidatesHybrid
 	hybEng := Build(g, ph)
 	u := uint32(17)
-	di := g.UndirectedBall(u, pi.DMax)
-	ci := idxEng.collectCandidates(u, di)
-	ch := hybEng.collectCandidates(u, di)
+	collect := func(e *Engine) []uint32 {
+		s := e.getScratch()
+		defer e.putScratch(s)
+		dist := s.distBuf()
+		s.ball, _ = g.UndirectedBallInto(u, e.p.DMax, -1, dist, s.ball[:0])
+		defer s.resetDist()
+		out := e.collectCandidates(s, u, dist, s.ball)
+		return append([]uint32(nil), out...)
+	}
+	ci := collect(idxEng)
+	ch := collect(hybEng)
 	chSet := map[uint32]bool{}
 	for _, v := range ch {
 		chSet[v] = true

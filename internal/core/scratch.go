@@ -1,0 +1,186 @@
+package core
+
+import (
+	"repro/internal/rng"
+)
+
+// scratch bundles every reusable buffer of the query and preprocess hot
+// paths: walk position arrays, epoch-marked dense accumulators (the
+// allocation-free replacement for the old map[uint32]-based tallies),
+// dense BFS distances, walk distributions, and the per-query candidate /
+// bound / score working sets.
+//
+// Engines hand scratches out of a sync.Pool (getScratch / putScratch), so
+// after warm-up a query performs near-zero allocations: the only escaping
+// allocation is the result slice itself. A scratch is owned by exactly one
+// goroutine at a time; parallel candidate scoring gives each worker its
+// own pooled scratch.
+type scratch struct {
+	n int
+
+	// Epoch-marked dense tally. mark[v] == epoch means v is part of the
+	// current tally and cnt[v] / acc[v] is valid; bumping epoch clears the
+	// whole tally in O(1). touched lists the marked vertices, so results
+	// can be extracted (and sorted) in O(support), never O(n).
+	mark    []uint32
+	epoch   uint32
+	cnt     []int32
+	acc     []float64 // lazily allocated; only exact scoring needs it
+	touched []uint32
+
+	// Walk position buffers (one per side of a walk-pair estimate).
+	pos  []uint32
+	pos2 []uint32
+
+	// Dense undirected distances for the query-local ball. Entries are -1
+	// ("clean") outside a query; ball lists the vertices the last BFS
+	// touched so resetDist can clean up in O(ball). Lazily allocated:
+	// preprocess-only scratches never pay for it.
+	dist []int32
+	ball []uint32
+
+	// Walk distributions: wd holds the query-side distribution, wd2 the
+	// candidate-side one in exact-scoring mode.
+	wd  walkDist
+	wd2 walkDist
+
+	// Per-candidate RNG, re-seeded for every candidate so scores do not
+	// depend on candidate evaluation order (and hence worker count).
+	rng rng.Source
+
+	// Query working sets.
+	cands  []uint32
+	bounds []boundedCand
+	scores []candScore
+
+	// L1-bound working storage (Algorithm 2's α table and β result).
+	alpha    []float64
+	overflow []float64
+	l1       l1Table
+
+	// Index-construction walk buffers (Algorithm 4).
+	iw *indexScratch
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		n:    n,
+		mark: make([]uint32, n),
+		cnt:  make([]int32, n),
+	}
+}
+
+// beginTally starts a fresh tally: previous marks become stale in O(1).
+func (s *scratch) beginTally() {
+	s.epoch++
+	if s.epoch == 0 {
+		// uint32 wrap-around: stale marks from 4B tallies ago could alias
+		// the new epoch, so clear them once.
+		clear(s.mark)
+		s.epoch = 1
+	}
+	s.touched = s.touched[:0]
+}
+
+// tallyCount adds one observation of v to the current integer tally.
+func (s *scratch) tallyCount(v uint32) {
+	if s.mark[v] != s.epoch {
+		s.mark[v] = s.epoch
+		s.cnt[v] = 0
+		s.touched = append(s.touched, v)
+	}
+	s.cnt[v]++
+}
+
+// addMass adds floating-point mass at v to the current tally.
+func (s *scratch) addMass(v uint32, m float64) {
+	if s.mark[v] != s.epoch {
+		s.mark[v] = s.epoch
+		s.acc[v] = 0
+		s.touched = append(s.touched, v)
+	}
+	s.acc[v] += m
+}
+
+// checkSeen reports whether v was already marked in the current tally,
+// marking it if not. Used for candidate deduplication.
+func (s *scratch) checkSeen(v uint32) bool {
+	if s.mark[v] == s.epoch {
+		return true
+	}
+	s.mark[v] = s.epoch
+	return false
+}
+
+// ensureAcc allocates the float accumulator on first use.
+func (s *scratch) ensureAcc() {
+	if s.acc == nil {
+		s.acc = make([]float64, s.n)
+	}
+}
+
+// walkBuf returns the primary walk-position buffer with length R.
+func (s *scratch) walkBuf(R int) []uint32 {
+	if cap(s.pos) < R {
+		s.pos = make([]uint32, R)
+	}
+	s.pos = s.pos[:R]
+	return s.pos
+}
+
+// walkBuf2 returns the secondary walk-position buffer with length R.
+func (s *scratch) walkBuf2(R int) []uint32 {
+	if cap(s.pos2) < R {
+		s.pos2 = make([]uint32, R)
+	}
+	s.pos2 = s.pos2[:R]
+	return s.pos2
+}
+
+// distBuf returns the dense distance array (all entries -1). The caller
+// must pair every fill with resetDist.
+func (s *scratch) distBuf() []int32 {
+	if s.dist == nil {
+		s.dist = make([]int32, s.n)
+		for i := range s.dist {
+			s.dist[i] = -1
+		}
+	}
+	return s.dist
+}
+
+// resetDist cleans the distance entries touched by the last ball BFS.
+func (s *scratch) resetDist() {
+	for _, v := range s.ball {
+		s.dist[v] = -1
+	}
+	s.ball = s.ball[:0]
+}
+
+// indexScratch returns the reusable Algorithm 4 walk buffers.
+func (s *scratch) indexScratch(T, Q int) *indexScratch {
+	if s.iw == nil || len(s.iw.w0) != T+1 || len(s.iw.walks) != Q {
+		s.iw = newIndexScratch(T, Q)
+	}
+	return s.iw
+}
+
+// floatBuf grows buf to n entries, all zero.
+func floatBuf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// getScratch takes a scratch from the engine's pool.
+func (e *Engine) getScratch() *scratch {
+	return e.pool.Get().(*scratch)
+}
+
+// putScratch returns a scratch to the pool.
+func (e *Engine) putScratch(s *scratch) {
+	e.pool.Put(s)
+}

@@ -1,52 +1,63 @@
 package core
 
-import "repro/internal/rng"
+import (
+	"slices"
+
+	"repro/internal/rng"
+)
 
 // SinglePair estimates the truncated SimRank score s⁽ᵀ⁾(u, v) with
 // Algorithm 1 of the paper, using Params.RScore walk pairs. The estimate
 // is unbiased for each series term and concentrates per Proposition 3.
 func (e *Engine) SinglePair(u, v uint32) float64 {
-	return e.singlePairR(u, v, e.p.RScore, e.queryRNG(u^v<<1))
+	return e.SinglePairR(u, v, e.p.RScore)
 }
 
 // SinglePairR is SinglePair with an explicit sample count R, used by the
 // adaptive sampling of the query phase and by accuracy experiments.
 func (e *Engine) SinglePairR(u, v uint32, R int) float64 {
-	return e.singlePairR(u, v, R, e.queryRNG(u^v<<1))
+	s := e.getScratch()
+	defer e.putScratch(s)
+	s.rng.Seed(e.pairSeed(u, v))
+	return e.singlePairR(u, v, R, &s.rng, s)
 }
 
 // singlePairR implements Algorithm 1: R walks from u and R walks from v
 // advance in lockstep; at every step t each coinciding position w adds
 // cᵗ·D_ww·α·β/R² to the estimate, where α and β count the walks of each
 // side at w.
-func (e *Engine) singlePairR(u, v uint32, R int, r *rng.Source) float64 {
-	uw := newWalkSet(e.g, r, u, R)
-	vw := newWalkSet(e.g, r, v, R)
-	vcnt := make(map[uint32]int32, R)
+func (e *Engine) singlePairR(u, v uint32, R int, r *rng.Source, s *scratch) float64 {
+	upos := s.walkBuf(R)
+	vpos := s.walkBuf2(R)
+	resetWalks(upos, u)
+	resetWalks(vpos, v)
 
 	sigma := 0.0
 	ct := 1.0
 	invR2 := 1.0 / (float64(R) * float64(R))
+	aliveU, aliveV := R, R
 	for t := 0; t < e.p.T; t++ {
 		if t > 0 {
-			uw.step()
-			vw.step()
+			aliveU = stepWalks(e.g, r, upos)
+			aliveV = stepWalks(e.g, r, vpos)
 			ct *= e.p.C
 		}
-		vw.counts(vcnt)
-		if len(vcnt) == 0 || uw.alive() == 0 {
+		if aliveU == 0 || aliveV == 0 {
 			break // all walks on one side are dead; no further terms
+		}
+		s.beginTally()
+		for _, w := range vpos {
+			if w != Dead {
+				s.tallyCount(w)
+			}
 		}
 		// Σ_w D_ww·α_w·β_w accumulated by scanning the u-side walk
 		// positions in slice order (each of the α_w walks at w adds
 		// D_ww·β_w once), which keeps floating-point summation order —
 		// and therefore results — deterministic for a fixed seed.
-		for _, w := range uw.pos {
-			if w == Dead {
-				continue
-			}
-			if cb := vcnt[w]; cb > 0 {
-				sigma += ct * e.p.dval(w) * float64(cb) * invR2
+		for _, w := range upos {
+			if w != Dead && s.mark[w] == s.epoch {
+				sigma += ct * e.p.dval(w) * float64(s.cnt[w]) * invR2
 			}
 		}
 	}
@@ -62,45 +73,55 @@ func (e *Engine) singlePairR(u, v uint32, R int, r *rng.Source) float64 {
 // With the u-side effectively exact, only v-side sampling noise remains,
 // roughly halving the estimator variance per candidate at no extra cost —
 // the walks funding p̂ were already performed for the L1 bound.
-func (e *Engine) singlePairOneSided(wd *walkDist, v uint32, R int, r *rng.Source) float64 {
-	vw := newWalkSet(e.g, r, v, R)
+//
+// The v-side positions are tallied through the scratch's epoch marks and
+// looked up once per distinct position (binary search in wd's sorted
+// support), so the step cost is O(R + distinct·log support) with zero
+// allocations.
+func (e *Engine) singlePairOneSided(s *scratch, wd *walkDist, v uint32, R int, r *rng.Source) float64 {
+	vpos := s.walkBuf2(R)
+	resetWalks(vpos, v)
 	sigma := 0.0
 	ct := 1.0
 	invR := 1.0 / float64(R)
+	alive := R
 	for t := 0; t < e.p.T; t++ {
 		if t > 0 {
-			vw.step()
+			alive = stepWalks(e.g, r, vpos)
 			ct *= e.p.C
 		}
-		probs := wd.probs[t]
-		if len(probs) == 0 {
+		if alive == 0 || t >= len(wd.verts) || len(wd.verts[t]) == 0 {
 			break
 		}
-		alive := 0
-		for _, w := range vw.pos {
-			if w == Dead {
-				continue
-			}
-			alive++
-			if pr, ok := probs[w]; ok {
-				sigma += ct * e.p.dval(w) * pr * invR
+		s.beginTally()
+		for _, w := range vpos {
+			if w != Dead {
+				s.tallyCount(w)
 			}
 		}
-		if alive == 0 {
-			break
+		// Distinct v-side positions in first-seen order: deterministic for
+		// a fixed walk stream, independent of everything else.
+		vs, ps := wd.verts[t], wd.probs[t]
+		for _, w := range s.touched {
+			if i, ok := slices.BinarySearch(vs, w); ok {
+				sigma += ct * e.p.dval(w) * ps[i] * float64(s.cnt[w]) * invR
+			}
 		}
 	}
 	return sigma
 }
 
 // SingleSourceMC estimates s⁽ᵀ⁾(u, v) for every v in targets by running
-// Algorithm 1 against each target with R walk pairs. The u-side walks are
-// re-sampled per target, keeping estimates independent across targets.
+// Algorithm 1 against each target with R walk pairs. Each target's walks
+// are seeded from the (u, v) pair, keeping estimates independent across
+// targets and stable under reordering.
 func (e *Engine) SingleSourceMC(u uint32, targets []uint32, R int) []float64 {
 	out := make([]float64, len(targets))
-	r := e.queryRNG(u)
+	s := e.getScratch()
+	defer e.putScratch(s)
 	for i, v := range targets {
-		out[i] = e.singlePairR(u, v, R, r)
+		s.rng.Seed(e.pairSeed(u, v))
+		out[i] = e.singlePairR(u, v, R, &s.rng, s)
 	}
 	return out
 }

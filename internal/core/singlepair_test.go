@@ -25,10 +25,12 @@ func TestSinglePairMatchesExactSeries(t *testing.T) {
 	e := testEngine(g, 1)
 	d := exact.UniformDiagonal(g.N(), e.p.C)
 	r := rng.New(7)
+	s := e.getScratch()
+	defer e.putScratch(s)
 	pairs := [][2]uint32{{1, 2}, {5, 10}, {20, 40}, {0, 59}, {13, 14}}
 	for _, pr := range pairs {
 		want := exact.SinglePair(g, d, e.p.C, e.p.T, pr[0], pr[1])
-		got := e.singlePairR(pr[0], pr[1], 20000, r)
+		got := e.singlePairR(pr[0], pr[1], 20000, r, s)
 		if math.Abs(got-want) > 0.02 {
 			t.Errorf("s(%d,%d): MC %v vs exact %v", pr[0], pr[1], got, want)
 		}
@@ -45,7 +47,9 @@ func TestSinglePairClawLeaves(t *testing.T) {
 	e := New(g, p)
 	d := exact.UniformDiagonal(4, 0.8)
 	want := exact.SinglePair(g, d, 0.8, p.T, 1, 2)
-	got := e.singlePairR(1, 2, 50000, rng.New(5))
+	s := e.getScratch()
+	defer e.putScratch(s)
+	got := e.singlePairR(1, 2, 50000, rng.New(5), s)
 	if math.Abs(got-want) > 0.02 {
 		t.Fatalf("claw leaves: MC %v vs exact %v", got, want)
 	}
@@ -59,9 +63,11 @@ func TestOneSidedEstimatorMatchesExact(t *testing.T) {
 	e := testEngine(g, 2)
 	d := exact.UniformDiagonal(g.N(), e.p.C)
 	r := rng.New(11)
+	s := e.getScratch()
+	defer e.putScratch(s)
 	for _, pr := range [][2]uint32{{1, 2}, {5, 10}, {20, 40}, {0, 59}} {
-		wd := e.sampleWalkDist(pr[0], 20000, r)
-		got := e.singlePairOneSided(wd, pr[1], 5000, r)
+		e.sampleWalkDistInto(&s.wd, s, pr[0], 20000, r)
+		got := e.singlePairOneSided(s, &s.wd, pr[1], 5000, r)
 		want := exact.SinglePair(g, d, e.p.C, e.p.T, pr[0], pr[1])
 		if math.Abs(got-want) > 0.02 {
 			t.Errorf("one-sided s(%d,%d): %v vs exact %v", pr[0], pr[1], got, want)
@@ -75,8 +81,10 @@ func TestOneSidedDeadQuery(t *testing.T) {
 	g := graph.DirectedStar(5)
 	e := testEngine(g, 1)
 	r := rng.New(2)
-	wd := e.sampleWalkDist(1, 100, r) // leaf: walks die at t=1
-	if got := e.singlePairOneSided(wd, 2, 100, r); got != 0 {
+	s := e.getScratch()
+	defer e.putScratch(s)
+	e.sampleWalkDistInto(&s.wd, s, 1, 100, r) // leaf: walks die at t=1
+	if got := e.singlePairOneSided(s, &s.wd, 2, 100, r); got != 0 {
 		t.Fatalf("dead-query score = %v", got)
 	}
 }
@@ -147,30 +155,31 @@ func TestSingleSourceMC(t *testing.T) {
 	}
 }
 
-func TestWalkSetDeath(t *testing.T) {
+func TestWalkDeath(t *testing.T) {
 	g := graph.DirectedStar(4) // leaves dangle
-	ws := newWalkSet(g, rng.New(1), 0, 10)
-	ws.step() // hub -> some leaf
-	if ws.alive() != 10 {
-		t.Fatalf("after 1 step alive = %d", ws.alive())
+	r := rng.New(1)
+	pos := make([]uint32, 10)
+	resetWalks(pos, 0)
+	if alive := stepWalks(g, r, pos); alive != 10 { // hub -> some leaf
+		t.Fatalf("after 1 step alive = %d", alive)
 	}
-	ws.step() // leaves have no in-links: all die
-	if ws.alive() != 0 {
-		t.Fatalf("after 2 steps alive = %d", ws.alive())
+	if alive := stepWalks(g, r, pos); alive != 0 { // leaves have no in-links
+		t.Fatalf("after 2 steps alive = %d", alive)
 	}
-	cnt := map[uint32]int32{}
-	ws.counts(cnt)
-	if len(cnt) != 0 {
-		t.Fatalf("dead walks counted: %v", cnt)
+	for _, p := range pos {
+		if p != Dead {
+			t.Fatalf("dead walk left at %d", p)
+		}
 	}
 }
 
-func TestWalkSetReset(t *testing.T) {
+func TestWalkReset(t *testing.T) {
 	g := graph.Cycle(5)
-	ws := newWalkSet(g, rng.New(1), 2, 4)
-	ws.step()
-	ws.reset(3)
-	for _, p := range ws.pos {
+	pos := make([]uint32, 4)
+	resetWalks(pos, 2)
+	stepWalks(g, rng.New(1), pos)
+	resetWalks(pos, 3)
+	for _, p := range pos {
 		if p != 3 {
 			t.Fatalf("reset left position %d", p)
 		}

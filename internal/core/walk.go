@@ -10,66 +10,32 @@ import (
 // mass at dangling vertices).
 const Dead = graph.NoVertex
 
-// walkSet is a bundle of R simultaneous in-link random walks. It is the
-// Monte-Carlo workhorse shared by Algorithms 1–4.
-type walkSet struct {
-	g   *graph.Graph
-	r   *rng.Source
-	pos []uint32
-}
-
-// newWalkSet starts R walks at vertex u.
-func newWalkSet(g *graph.Graph, r *rng.Source, u uint32, R int) *walkSet {
-	ws := &walkSet{g: g, r: r, pos: make([]uint32, R)}
-	for i := range ws.pos {
-		ws.pos[i] = u
-	}
-	return ws
-}
-
-// reset restarts all walks at u.
-func (ws *walkSet) reset(u uint32) {
-	for i := range ws.pos {
-		ws.pos[i] = u
+// resetWalks restarts every walk in pos at u.
+func resetWalks(pos []uint32, u uint32) {
+	for i := range pos {
+		pos[i] = u
 	}
 }
 
-// step advances every live walk one in-link step; walks at vertices with
-// no in-links die.
-func (ws *walkSet) step() {
-	for i, v := range ws.pos {
+// stepWalks advances every live walk one in-link step; walks at vertices
+// with no in-links die. It returns the number of walks still alive. This
+// is the Monte-Carlo workhorse shared by Algorithms 1–4: a tight loop
+// over a flat position buffer with no per-step allocation.
+func stepWalks(g *graph.Graph, r *rng.Source, pos []uint32) int {
+	alive := 0
+	for i, v := range pos {
 		if v == Dead {
 			continue
 		}
-		in := ws.g.In(v)
+		in := g.In(v)
 		if len(in) == 0 {
-			ws.pos[i] = Dead
+			pos[i] = Dead
 			continue
 		}
-		ws.pos[i] = in[ws.r.Uint32n(uint32(len(in)))]
+		pos[i] = in[r.Uint32n(uint32(len(in)))]
+		alive++
 	}
-}
-
-// counts tallies live walk positions into the supplied map, which is
-// cleared first. The map estimates R·Pᵗe_u.
-func (ws *walkSet) counts(into map[uint32]int32) {
-	clear(into)
-	for _, v := range ws.pos {
-		if v != Dead {
-			into[v]++
-		}
-	}
-}
-
-// alive reports the number of live walks.
-func (ws *walkSet) alive() int {
-	n := 0
-	for _, v := range ws.pos {
-		if v != Dead {
-			n++
-		}
-	}
-	return n
+	return alive
 }
 
 // singleWalk performs one walk of length T from u, recording the position

@@ -95,6 +95,43 @@ func (g *Graph) UndirectedBallBudget(src uint32, maxDist, budget int) (dist map[
 	return dist, false
 }
 
+// UndirectedBallInto is the allocation-free variant of
+// UndirectedBallBudget for callers holding reusable buffers: dist must be
+// a length-N array whose entries are all Unreachable (the caller resets
+// the touched entries afterwards — they are exactly the returned ball),
+// and ball's backing array is reused for the visit list. The returned ball
+// lists the discovered vertices in nondecreasing distance order (the list
+// doubles as the BFS queue), starting with src. Budget and truncation
+// semantics match UndirectedBallBudget: distances of listed vertices are
+// exact even when truncated is true.
+func (g *Graph) UndirectedBallInto(src uint32, maxDist, budget int, dist []int32, ball []uint32) ([]uint32, bool) {
+	dist[src] = 0
+	ball = append(ball, src)
+	for head := 0; head < len(ball); head++ {
+		v := ball[head]
+		d := dist[v]
+		if int(d) >= maxDist {
+			continue
+		}
+		if budget >= 0 && len(ball) >= budget {
+			return ball, true
+		}
+		for _, w := range g.Out(v) {
+			if dist[w] == Unreachable {
+				dist[w] = d + 1
+				ball = append(ball, w)
+			}
+		}
+		for _, w := range g.In(v) {
+			if dist[w] == Unreachable {
+				dist[w] = d + 1
+				ball = append(ball, w)
+			}
+		}
+	}
+	return ball, false
+}
+
 func (g *Graph) bfs(src uint32, adj func(uint32) []uint32, maxDist int32) []int32 {
 	dist := make([]int32, g.n)
 	for i := range dist {

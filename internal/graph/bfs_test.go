@@ -116,6 +116,55 @@ func TestUndirectedBallBudget(t *testing.T) {
 	}
 }
 
+// UndirectedBallInto must agree with the map-based UndirectedBallBudget
+// on membership, distances, and truncation, and list vertices in
+// nondecreasing distance order.
+func TestUndirectedBallIntoMatchesMap(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(40)
+		g := ErdosRenyi(n, 3*n, seed)
+		src := uint32(r.Intn(n))
+		maxD := 1 + r.Intn(4)
+		budget := -1
+		if r.Intn(2) == 0 {
+			budget = 1 + r.Intn(n)
+		}
+		want, wantTrunc := g.UndirectedBallBudget(src, maxD, budget)
+
+		dist := make([]int32, n)
+		for i := range dist {
+			dist[i] = Unreachable
+		}
+		ball, trunc := g.UndirectedBallInto(src, maxD, budget, dist, nil)
+		if trunc != wantTrunc || len(ball) != len(want) {
+			return false
+		}
+		prev := int32(0)
+		for _, v := range ball {
+			d, ok := want[v]
+			if !ok || dist[v] != d || d < prev {
+				return false
+			}
+			prev = d
+		}
+		// Untouched entries stay clean.
+		touched := map[uint32]bool{}
+		for _, v := range ball {
+			touched[v] = true
+		}
+		for v, d := range dist {
+			if !touched[uint32(v)] && d != Unreachable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestConnectedComponents(t *testing.T) {
 	// Two triangles, disconnected.
 	b := NewBuilder(6)

@@ -11,7 +11,8 @@ package rng
 import "math"
 
 // Source is a deterministic pseudo-random number generator.
-// The zero value is not usable; construct with New.
+// The zero value is not usable until Seed is called; construct with New
+// or embed a Source by value and Seed it before use.
 type Source struct {
 	s0, s1, s2, s3 uint64
 }
@@ -24,6 +25,13 @@ func splitmix64(state *uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// Mix returns a well-mixed 64-bit hash of x (one splitmix64 step). It is
+// a bijection on uint64, so distinct inputs yield distinct outputs; use it
+// to derive seeds from structured values such as packed vertex pairs.
+func Mix(x uint64) uint64 {
+	return splitmix64(&x)
 }
 
 // New returns a Source seeded from the given 64-bit seed.

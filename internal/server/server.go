@@ -2,6 +2,7 @@
 // JSON API, so the library can run as a standalone service:
 //
 //	GET /topk?u=42&k=20          -> {"query":42,"results":[{"node":7,"score":0.31},...]}
+//	GET /topk?u=42&k=20&stats=1  -> same, plus per-query pruning statistics
 //	GET /pair?u=42&v=99          -> {"u":42,"v":99,"score":0.018}
 //	GET /similar?u=42&theta=0.05 -> same shape as /topk
 //	GET /stats                   -> graph and index statistics
@@ -59,6 +60,16 @@ type TopKResponse struct {
 	Query    int          `json:"query"`
 	Results  []ResultJSON `json:"results"`
 	ElapsedM float64      `json:"elapsed_ms"`
+	// Stats is present on /topk?stats=1: pruning counters for the query.
+	Stats *QueryStatsJSON `json:"stats,omitempty"`
+}
+
+// QueryStatsJSON mirrors simrank.QueryStats for API responses.
+type QueryStatsJSON struct {
+	Candidates    int `json:"candidates"`
+	PrunedByBound int `json:"pruned_by_bound"`
+	PrunedByRough int `json:"pruned_by_rough"`
+	Refined       int `json:"refined"`
 }
 
 // PairResponse is the payload of /pair.
@@ -94,17 +105,32 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d]", h.MaxK))
 		return
 	}
+	wantStats := r.URL.Query().Get("stats") == "1"
 	start := time.Now()
-	res, err := h.idx.TopK(u, k)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	resp := TopKResponse{Query: u}
+	if wantStats {
+		res, st, err := h.idx.TopKWithStats(u, k)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp.Results = toJSON(res)
+		resp.Stats = &QueryStatsJSON{
+			Candidates:    st.Candidates,
+			PrunedByBound: st.PrunedByBound,
+			PrunedByRough: st.PrunedByRough,
+			Refined:       st.Refined,
+		}
+	} else {
+		res, err := h.idx.TopK(u, k)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp.Results = toJSON(res)
 	}
-	writeJSON(w, http.StatusOK, TopKResponse{
-		Query:    u,
-		Results:  toJSON(res),
-		ElapsedM: float64(time.Since(start).Microseconds()) / 1000,
-	})
+	resp.ElapsedM = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (h *Handler) handlePair(w http.ResponseWriter, r *http.Request) {

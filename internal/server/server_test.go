@@ -45,6 +45,42 @@ func TestTopKEndpoint(t *testing.T) {
 	}
 }
 
+func TestTopKStatsParam(t *testing.T) {
+	h := testHandler(t)
+	rec, body := get(t, h, "/topk?u=0&k=5&stats=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp TopKResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats == nil {
+		t.Fatal("stats=1 returned no stats")
+	}
+	if resp.Stats.Refined+resp.Stats.PrunedByRough+resp.Stats.PrunedByBound > resp.Stats.Candidates {
+		t.Fatalf("inconsistent stats: %+v", *resp.Stats)
+	}
+	// Results must match the stats-free path (same seed, same query).
+	_, plain := get(t, h, "/topk?u=0&k=5")
+	var base TopKResponse
+	if err := json.Unmarshal(plain, &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Results) != len(resp.Results) {
+		t.Fatalf("stats param changed results: %d vs %d", len(base.Results), len(resp.Results))
+	}
+	for i := range base.Results {
+		if base.Results[i] != resp.Results[i] {
+			t.Fatalf("stats param changed result %d", i)
+		}
+	}
+	// Without stats=1 the field stays absent.
+	if base.Stats != nil {
+		t.Fatal("stats returned without stats=1")
+	}
+}
+
 func TestTopKDefaultsAndValidation(t *testing.T) {
 	h := testHandler(t)
 	// Default k.

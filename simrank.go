@@ -41,8 +41,11 @@ type Options struct {
 	ExactScores bool
 	// Seed makes all Monte-Carlo components deterministic. Default 1.
 	Seed uint64
-	// Workers bounds preprocess/all-pairs parallelism. Default:
-	// GOMAXPROCS.
+	// Workers bounds parallelism: the preprocess and all-pairs modes
+	// shard vertices across this many goroutines, and a single TopK /
+	// Similar query fans its candidate scoring out over them (results are
+	// identical for any worker count — every candidate's walks come from
+	// its own deterministic RNG stream). Default: GOMAXPROCS.
 	Workers int
 }
 
