@@ -1,12 +1,19 @@
 # Tier-1 verification gate. `make check` is what CI and pre-merge runs:
-# vet, build, full test suite, and a race pass over the concurrency-heavy
-# core package.
+# formatting, vet, build, the full test suite (shuffled, so test-order
+# coupling can't hide), a race pass over every package, and the simlint
+# determinism/concurrency rules (cmd/simlint) over ./... .
+# scripts/ci.sh runs the same sequence standalone.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json
+.PHONY: check fmt vet build test race lint bench bench-json
 
-check: vet build test race
+check: fmt vet build test race lint
+
+# gofmt cleanliness, including analyzer fixtures under testdata/.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +22,15 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./...
+
+# simlint: norand, mapiter, seedmix, poolbalance, gospawn (see
+# internal/analysis). Exits nonzero on any diagnostic.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 # Query hot-path microbenchmarks (the 100k-vertex engine build takes a
 # couple of minutes the first time).

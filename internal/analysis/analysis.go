@@ -1,0 +1,118 @@
+// Package analysis is a small stdlib-only static-analysis framework
+// (go/parser + go/types + go/importer; no x/tools dependency) plus the
+// simlint analyzers that enforce this repository's determinism and
+// concurrency invariants.
+//
+// The invariants exist because the engine promises byte-identical top-k
+// results for a given (graph, Params) across worker counts and runs.
+// That promise survives only if RNG streams are derived deterministically
+// (rng.Mix over structured ids, never raw xor/shift combinations), map
+// iteration order never leaks into results, scratch buffers always go
+// back to their pool, and goroutines are spawned only by the approved
+// bounded worker pools. Each rule is encoded as an Analyzer; cmd/simlint
+// is the driver and `make check` runs it over ./... as part of the gate.
+//
+// Diagnostics can be suppressed with an in-source directive on the same
+// line or the line directly above the flagged position:
+//
+//	//lint:ignore <rule> <reason>
+//
+// and a whole file can opt out of one rule with
+//
+//	//lint:file-ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Suppression directives are applied
+// later, centrally, so analyzers never need to know about them.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Rule:     p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		analyzer: p.Analyzer,
+	})
+}
+
+// A Diagnostic is one finding, positioned in the original source.
+type Diagnostic struct {
+	Rule    string         `json:"rule"`
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Message string         `json:"message"`
+
+	analyzer *Analyzer
+}
+
+// String renders the go-vet-style one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Rule)
+}
+
+// Run applies the given analyzers to the package, filters suppressed
+// findings, and returns the surviving diagnostics sorted by position.
+// Malformed ignore directives are reported under the pseudo-rule "lint".
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+	idx := buildIgnoreIndex(pkg)
+	diags = append(diags, idx.malformed...)
+	kept := diags[:0]
+	for _, d := range diags {
+		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+		if idx.suppressed(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sortDiagnostics(kept)
+	return kept, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Analyzers returns the full simlint rule set in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoRand,
+		MapIter,
+		SeedMix,
+		PoolBalance,
+		GoSpawn,
+	}
+}
+
+// ByName resolves a comma-separated rule list; unknown names return nil
+// and the offending name.
+func ByName(list string) ([]*Analyzer, string) {
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range Analyzers() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, name
+		}
+	}
+	return out, ""
+}
+
+// fixturePkg reports whether the package is an analyzer test fixture
+// (anything under a testdata directory). Scoped analyzers treat fixtures
+// as always in scope so their rules can be exercised outside the real
+// package layout.
+func fixturePkg(pkg *Package) bool {
+	return strings.Contains(pkg.ImportPath, "testdata/") ||
+		strings.Contains(pkg.Dir, "testdata")
+}
+
+// eachFunc invokes fn once per function body in the file: every FuncDecl
+// and every FuncLit, each with its own body. A FuncLit is analyzed as an
+// independent function (its returns and defers are its own), which is how
+// the worker-pool closures in internal/core behave.
+func eachFunc(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(fd.Name.Name, fd.Body)
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn(name+"·func", lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// sameFuncInspect walks the statements of body that belong to this
+// function, never descending into nested FuncLits.
+func sameFuncInspect(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// pkgIdent reports whether expr is a reference to the named import, e.g.
+// pkgIdent(info, x, "time") for the x in x.Now().
+func pkgIdent(info *types.Info, expr ast.Expr, name string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		imported := pn.Imported()
+		return imported.Name() == name || strings.HasSuffix(imported.Path(), "/"+name)
+	}
+	// Fallback when type info is incomplete: trust the identifier text.
+	return id.Name == name && info.Uses[id] == nil
+}
+
+// mentionsObj reports whether the subtree references the given object.
+func mentionsObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsKey reports whether any subexpression of n renders (via
+// exprKey) to the given key; used to track selector expressions like
+// s.out where there is no single object identity.
+func mentionsKey(n ast.Node, key string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if e, ok := x.(ast.Expr); ok && exprKey(e) == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprKey renders simple ident/selector chains ("s.out", "e.pool") to a
+// comparable string; other expression forms yield "".
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	}
+	return ""
+}
+
+// calleeName returns the final name of a call target: "Sort" for
+// sort.Slice is "Slice", for x.Sort() is "Sort", for sortScored(..) is
+// "sortScored".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

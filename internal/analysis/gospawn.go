@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoSpawn restricts raw goroutine creation in internal/core to the
+// approved bounded worker pools. Every concurrency site in the engine is
+// a fixed `for w := 0; w < workers; w++` fan-out whose determinism has
+// been argued once (per-vertex reseeding, per-worker scratches,
+// contiguous or cursor-based sharding); a stray `go` elsewhere — and in
+// particular one goroutine per work item inside a range loop — is both an
+// unbounded-spawn hazard and a new ordering surface that the determinism
+// tests were never written to cover.
+var GoSpawn = &Analyzer{
+	Name: "gospawn",
+	Doc: "raw go statements in internal/core are allowed only inside the approved " +
+		"worker-pool functions, and never one per work item",
+	Run: runGoSpawn,
+}
+
+// goSpawnAllow names the approved worker-pool functions: each spawns at
+// most Params.Workers goroutines from a plain counted loop.
+var goSpawnAllow = map[string]bool{
+	"forEachVertexParallel": true, // allpairs.go: atomic-cursor vertex pool
+	"parallelVertices":      true, // engine.go: contiguous block shards
+	"scoreBlockParallel":    true, // query.go: per-block candidate scoring
+}
+
+func runGoSpawn(pass *Pass) error {
+	if !corePackage(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			// Track the statement path so a `go` inside a range loop can
+			// be distinguished from one inside a counted worker loop.
+			var rangeDepth int
+			var walk func(n ast.Node) bool
+			walk = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					rangeDepth++
+					ast.Inspect(n.Body, walk)
+					rangeDepth--
+					// Key/value/X already walked enough; skip re-descent.
+					return false
+				case *ast.GoStmt:
+					switch {
+					case !goSpawnAllow[name]:
+						pass.Reportf(n.Pos(),
+							"go statement outside the approved worker pools (%s); route the work through parallelVertices or forEachVertexParallel",
+							name)
+					case rangeDepth > 0:
+						pass.Reportf(n.Pos(),
+							"go statement spawns one goroutine per ranged item in %s; use a bounded worker loop instead",
+							name)
+					}
+				}
+				return true
+			}
+			ast.Inspect(fd.Body, walk)
+		}
+	}
+	return nil
+}

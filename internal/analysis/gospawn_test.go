@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestGoSpawnFixture(t *testing.T) {
+	runFixture(t, GoSpawn, "gospawn")
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignorePrefix and fileIgnorePrefix are the in-source suppression
+// directives. The rule list is comma-separated and the reason is
+// mandatory — an unexplained suppression is exactly the kind of silent
+// convention this package exists to eliminate.
+const (
+	ignorePrefix     = "//lint:ignore"
+	fileIgnorePrefix = "//lint:file-ignore"
+)
+
+// ignoreIndex holds every well-formed directive of one package, plus
+// diagnostics for the malformed ones.
+type ignoreIndex struct {
+	// line maps file -> line -> rules suppressed at that line. A
+	// directive suppresses findings on its own line and on the line
+	// directly below it (the usual "comment above the statement" form).
+	line map[string]map[int][]string
+	// file maps file -> rules suppressed for the whole file.
+	file      map[string][]string
+	malformed []Diagnostic
+}
+
+func buildIgnoreIndex(pkg *Package) *ignoreIndex {
+	idx := &ignoreIndex{
+		line: map[string]map[int][]string{},
+		file: map[string][]string{},
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				var fileWide bool
+				var rest string
+				switch {
+				case strings.HasPrefix(text, fileIgnorePrefix):
+					fileWide, rest = true, text[len(fileIgnorePrefix):]
+				case strings.HasPrefix(text, ignorePrefix):
+					fileWide, rest = false, text[len(ignorePrefix):]
+				default:
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Rule:    "lint",
+						Pos:     pos,
+						Message: "malformed ignore directive: need \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				rules := strings.Split(fields[0], ",")
+				if fileWide {
+					idx.file[pos.Filename] = append(idx.file[pos.Filename], rules...)
+					continue
+				}
+				lines := idx.line[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					idx.line[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], rules...)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by a directive: same rule on
+// the same line, on the line above, or file-wide.
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	for _, r := range idx.file[d.File] {
+		if r == d.Rule {
+			return true
+		}
+	}
+	lines := idx.line[d.File]
+	for _, ln := range []int{d.Line, d.Line - 1} {
+		for _, r := range lines[ln] {
+			if r == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}

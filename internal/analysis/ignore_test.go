@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFileIgnore checks that //lint:file-ignore suppresses a rule across
+// the whole file.
+func TestFileIgnore(t *testing.T) {
+	pkg := loadFixture(t, "fileignore")
+	diags, err := Run(pkg, []*Analyzer{NoRand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("file-ignore did not suppress: %v", diags)
+	}
+}
+
+// TestMalformedDirective checks that a directive without a reason is
+// itself reported under the "lint" pseudo-rule.
+func TestMalformedDirective(t *testing.T) {
+	pkg := loadFixture(t, "malformed")
+	diags, err := Run(pkg, []*Analyzer{NoRand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the malformed-directive one: %v", len(diags), diags)
+	}
+	if diags[0].Rule != "lint" || !strings.Contains(diags[0].Message, "malformed") {
+		t.Fatalf("unexpected diagnostic: %v", diags[0])
+	}
+}
+
+// TestIgnoreIndexPlacement pins the directive placement contract: same
+// line and line-above suppress, two lines above does not.
+func TestIgnoreIndexPlacement(t *testing.T) {
+	idx := &ignoreIndex{
+		line: map[string]map[int][]string{
+			"f.go": {10: {"norand"}},
+		},
+		file: map[string][]string{},
+	}
+	mk := func(line int, rule string) Diagnostic {
+		return Diagnostic{Rule: rule, File: "f.go", Line: line}
+	}
+	if !idx.suppressed(mk(10, "norand")) {
+		t.Error("same-line directive must suppress")
+	}
+	if !idx.suppressed(mk(11, "norand")) {
+		t.Error("line-above directive must suppress")
+	}
+	if idx.suppressed(mk(12, "norand")) {
+		t.Error("directive two lines up must not suppress")
+	}
+	if idx.suppressed(mk(10, "seedmix")) {
+		t.Error("other rules must not be suppressed")
+	}
+}

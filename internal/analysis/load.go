@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds soft type-checking problems (for example an import
+	// the loader had to stub out). The build gate runs before lint, so
+	// these indicate loader limitations, not broken code; the driver
+	// surfaces them as warnings only.
+	TypeErrors []error
+}
+
+// A Loader parses and type-checks packages of one module from source.
+//
+// Imports inside the module are loaded recursively from source; all other
+// imports (the standard library) are resolved through the gc importer's
+// export data. An import that cannot be resolved degrades to an empty
+// stub package and a warning instead of failing the load, so analysis is
+// best-effort by construction.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset  *token.FileSet
+	gc    types.Importer
+	byDir map[string]*Package
+	stubs []string
+}
+
+// NewLoader locates the enclosing module of dir (by walking up to go.mod)
+// and returns a Loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       token.NewFileSet(),
+		gc:         importer.Default(),
+		byDir:      map[string]*Package{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", file)
+}
+
+// Stubs returns the import paths the loader could not resolve and
+// replaced with empty packages.
+func (l *Loader) Stubs() []string { return l.stubs }
+
+// LoadAll walks every package directory under root (skipping testdata,
+// hidden and vendor directories) and returns the loaded packages in
+// sorted directory order. Directories without non-test Go files are
+// skipped silently.
+func (l *Loader) LoadAll(root string) ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "results") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if goSource(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func goSource(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// LoadDir parses and type-checks the single package in dir (test files
+// excluded), reusing previously loaded results.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.byDir[abs]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", abs)
+		}
+		return pkg, nil
+	}
+	l.byDir[abs] = nil // cycle marker
+	pkg, err := l.loadDir(abs)
+	if err != nil {
+		delete(l.byDir, abs)
+		return nil, err
+	}
+	l.byDir[abs] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !goSource(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	name := files[0].Name.Name
+	kept := files[:0]
+	for _, f := range files {
+		// A second package in one directory (stale experiments and the
+		// like) would make go/types refuse the whole load; keep the
+		// majority package named after the first file instead.
+		if f.Name.Name == name {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	pkg := &Package{
+		Dir:        dir,
+		ImportPath: l.importPath(dir),
+		Name:       name,
+		Fset:       l.fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Soft errors are collected through conf.Error; the returned error
+	// duplicates the first of them, so it is deliberately dropped.
+	pkg.Types, _ = conf.Check(pkg.ImportPath, l.fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// importPath maps a directory to its import path within the module.
+// Directories outside the module fall back to their base name.
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// loaderImporter adapts the Loader to types.Importer: module-local
+// packages come from source, everything else from gc export data, and
+// unresolvable imports become complete-but-empty stubs.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath)))
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.gc.Import(path); err == nil {
+		return pkg, nil
+	}
+	l.stubs = append(l.stubs, path)
+	stub := types.NewPackage(path, filepath.Base(path))
+	stub.MarkComplete()
+	return stub, nil
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadModule smoke-tests the loader over the real module: every
+// package must parse, type-check without stubbed imports, and carry
+// usable type info.
+func TestLoadModule(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath != "repro" {
+		t.Fatalf("module path = %q, want repro", loader.ModulePath)
+	}
+	pkgs, err := loader.LoadAll(loader.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages", len(pkgs))
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		seen[pkg.ImportPath] = true
+		for _, te := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.ImportPath, te)
+		}
+		if pkg.Types == nil || len(pkg.Info.Types) == 0 {
+			t.Errorf("%s: missing type info", pkg.ImportPath)
+		}
+	}
+	for _, want := range []string{"repro", "repro/internal/core", "repro/internal/rng", "repro/cmd/simlint"} {
+		if !seen[want] {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	if stubs := loader.Stubs(); len(stubs) > 0 {
+		t.Errorf("stubbed imports on the real module: %v", stubs)
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.ImportPath, "testdata") {
+			t.Errorf("LoadAll must skip testdata, loaded %s", pkg.ImportPath)
+		}
+	}
+}
+
+// TestRunCleanOnModule is the in-process version of the make-check gate:
+// the five analyzers must be clean over the whole repository.
+func TestRunCleanOnModule(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll(loader.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

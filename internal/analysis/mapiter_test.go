@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestMapIterFixture(t *testing.T) {
+	runFixture(t, MapIter, "mapiter")
+}

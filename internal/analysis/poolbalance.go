@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolBalance checks that every scratch-buffer acquire in internal/core
+// is paired with a release on every return path. The engine's sync.Pool
+// of scratches is what makes queries allocation-free; a leaked scratch is
+// silent — the pool just allocates a fresh one — so steady-state
+// performance decays without any test failing. A release counts if it is
+// deferred, or if it lexically dominates the exit (appears earlier in the
+// same or an enclosing statement list). Function literals are analyzed as
+// independent functions, matching the worker-pool closures that each own
+// a scratch.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc: "every getScratch()/pool.Get() must have a matching putScratch()/pool.Put() " +
+		"on all return paths (defer it, or release before each return)",
+	Run: runPoolBalance,
+}
+
+func runPoolBalance(pass *Pass) error {
+	if !corePackage(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		eachFunc(f, func(name string, body *ast.BlockStmt) {
+			checkPoolBalance(pass, body)
+		})
+	}
+	return nil
+}
+
+func corePackage(pkg *Package) bool {
+	if fixturePkg(pkg) {
+		return true
+	}
+	rel, ok := modRelPath(pkg)
+	return ok && rel == "internal/core"
+}
+
+// acquire is one `s := e.getScratch()` (or pool.Get()) in a function.
+type acquire struct {
+	obj  types.Object
+	stmt *ast.AssignStmt
+}
+
+func checkPoolBalance(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	var acquires []acquire
+	sameFuncInspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		if !isAcquireCall(info, as.Rhs[0]) {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			if obj := assignee(info, id); obj != nil {
+				acquires = append(acquires, acquire{obj: obj, stmt: as})
+			}
+		}
+		return true
+	})
+
+	for _, acq := range acquires {
+		checkOneAcquire(pass, info, body, acq)
+	}
+}
+
+// isAcquireCall matches e.getScratch(), pool.Get(), and the assertion
+// form pool.Get().(*scratch).
+func isAcquireCall(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "getScratch":
+		return true
+	case "Get":
+		return isPoolExpr(info, sel.X)
+	}
+	return false
+}
+
+// isReleaseCall matches e.putScratch(s) and pool.Put(s) for the object.
+func isReleaseCall(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "putScratch":
+	case "Put":
+		if !isPoolExpr(info, sel.X) {
+			return false
+		}
+	default:
+		return false
+	}
+	return mentionsObj(info, call.Args[0], obj)
+}
+
+// isPoolExpr reports whether e denotes a sync.Pool (by type when known,
+// by the conventional field name "pool" otherwise).
+func isPoolExpr(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				return true
+			}
+		}
+	}
+	key := exprKey(e)
+	return key == "pool" || strings.HasSuffix(key, ".pool")
+}
+
+func checkOneAcquire(pass *Pass, info *types.Info, body *ast.BlockStmt, acq acquire) {
+	// A deferred release anywhere in this function covers every exit.
+	deferred := false
+	sameFuncInspect(body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok && isReleaseCall(info, ds.Call, acq.obj) {
+			deferred = true
+		}
+		return !deferred
+	})
+	if deferred {
+		return
+	}
+
+	// Otherwise every exit after the acquire needs a dominating release.
+	var releases []ast.Stmt
+	sameFuncInspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok && isReleaseCall(info, call, acq.obj) {
+			releases = append(releases, es)
+		}
+		return true
+	})
+
+	for _, exit := range collectExits(body, acq.stmt.End()) {
+		if !dominatedByRelease(body, releases, exit) {
+			pass.Reportf(acq.stmt.Pos(),
+				"%s acquired here is not released on the exit path at line %d; defer the release or release before returning",
+				acq.obj.Name(), pass.Pkg.Fset.Position(exit.pos).Line)
+		}
+	}
+}
+
+// exitPoint is a return statement or the implicit fall-through at the
+// function's closing brace (fallBlock non-nil).
+type exitPoint struct {
+	pos       token.Pos
+	ret       *ast.ReturnStmt
+	fallBlock *ast.BlockStmt
+}
+
+// collectExits returns every return statement after pos, plus the
+// function's closing fall-through when the body can reach it.
+func collectExits(body *ast.BlockStmt, pos token.Pos) []exitPoint {
+	var exits []exitPoint
+	sameFuncInspect(body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.ReturnStmt); ok && rs.Pos() > pos {
+			exits = append(exits, exitPoint{pos: rs.Pos(), ret: rs})
+		}
+		return true
+	})
+	if fallsThrough(body) {
+		exits = append(exits, exitPoint{pos: body.Rbrace, fallBlock: body})
+	}
+	return exits
+}
+
+// fallsThrough reports whether execution can reach the closing brace:
+// true unless the final statement is a return, an unconditional for-loop,
+// or a panic call.
+func fallsThrough(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ForStmt:
+		return last.Cond != nil // `for {}` never falls through
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dominatedByRelease reports whether some release lexically dominates the
+// exit: the release is a statement in a block whose statement list also
+// (transitively) contains the exit at a strictly later index.
+func dominatedByRelease(body *ast.BlockStmt, releases []ast.Stmt, exit exitPoint) bool {
+	for _, rel := range releases {
+		if blockDominates(body, rel, exit) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockDominates walks every block under body looking for one whose list
+// contains rel directly and the exit inside a strictly later statement.
+func blockDominates(body *ast.BlockStmt, rel ast.Stmt, exit exitPoint) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		relIdx := -1
+		for i, st := range blk.List {
+			if st == rel {
+				relIdx = i
+				break
+			}
+		}
+		if relIdx < 0 {
+			return true
+		}
+		// The implicit fall-through exit of this block counts as
+		// dominated when the release sits in its top-level list.
+		if exit.fallBlock == blk {
+			found = true
+			return false
+		}
+		if exit.ret != nil {
+			for _, st := range blk.List[relIdx+1:] {
+				if containsNode(st, exit.ret) {
+					found = true
+					break
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func containsNode(root ast.Stmt, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

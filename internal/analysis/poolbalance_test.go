@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPoolBalanceFixture(t *testing.T) {
+	runFixture(t, PoolBalance, "poolbalance")
+}

@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+// TestSeedMixFixture includes the PR-1 regression shape u^(v<<1) as a
+// must-flag case, both raw at the seed sink and hidden inside a Mix call.
+func TestSeedMixFixture(t *testing.T) {
+	runFixture(t, SeedMix, "seedmix")
+}

@@ -1,0 +1,11 @@
+// Package fileignoretest is a simlint fixture: a file-wide suppression
+// covers every finding of one rule in the file.
+package fileignoretest
+
+//lint:file-ignore norand fixture: this whole file is timing-only
+
+import "time"
+
+func a() time.Time { return time.Now() }
+
+func b() time.Duration { return time.Since(time.Now()) }

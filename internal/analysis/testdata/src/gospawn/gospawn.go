@@ -1,0 +1,42 @@
+// Package gospawntest is a simlint fixture: raw goroutine creation
+// outside the approved worker pools.
+package gospawntest
+
+import "sync"
+
+// parallelVertices carries an approved name: a bounded counted fan-out
+// is the blessed concurrency shape.
+func parallelVertices(workers int, fn func(int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(w)
+		}()
+	}
+	wg.Wait()
+}
+
+func fanOutPerItem(items []int, fn func(int)) {
+	for _, it := range items {
+		go fn(it) // want "outside the approved worker pools"
+	}
+}
+
+// scoreBlockParallel is an approved name, but per-item spawning inside a
+// range loop is still unbounded and still flagged.
+func scoreBlockParallel(items []int, fn func(int)) {
+	for _, it := range items {
+		go fn(it) // want "one goroutine per ranged item"
+	}
+}
+
+func fireAndForget(fn func()) {
+	go fn() // want "outside the approved worker pools"
+}
+
+func suppressed(fn func()) {
+	//lint:ignore gospawn fixture: reasoned suppression is honoured
+	go fn()
+}

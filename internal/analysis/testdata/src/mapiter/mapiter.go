@@ -1,0 +1,72 @@
+// Package mapitertest is a simlint fixture: map iteration order leaking
+// into results.
+package mapitertest
+
+import "sort"
+
+type result struct{ out []uint32 }
+
+func leakReturn(m map[uint32]float64) []uint32 {
+	var out []uint32
+	for v := range m { // want "escapes unsorted"
+		out = append(out, v)
+	}
+	return out
+}
+
+func okSorted(m map[uint32]float64) []uint32 {
+	var out []uint32
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// okDense extracts by dense index: position, not visit order, decides.
+func okDense(m map[uint32]float64, n int) []float64 {
+	dense := make([]float64, n)
+	for v, s := range m {
+		dense[v] = s
+	}
+	return dense
+}
+
+// okLocal never lets the accumulation order escape.
+func okLocal(m map[uint32]bool) int {
+	hits := 0
+	for v := range m {
+		if m[v] {
+			hits++
+		}
+	}
+	return hits
+}
+
+func leakChannel(m map[uint32]float64, ch chan uint32) {
+	for v := range m {
+		ch <- v // want "channel send"
+	}
+}
+
+func leakField(m map[uint32]float64, r *result) {
+	for v := range m { // want "escapes unsorted"
+		r.out = append(r.out, v)
+	}
+}
+
+func okFieldSorted(m map[uint32]float64, r *result) {
+	for v := range m {
+		r.out = append(r.out, v)
+	}
+	sort.Slice(r.out, func(i, j int) bool { return r.out[i] < r.out[j] })
+}
+
+func suppressed(m map[uint32]float64) []uint32 {
+	var out []uint32
+	//lint:ignore mapiter fixture: order is canonicalized downstream
+	for v := range m {
+		out = append(out, v)
+	}
+	return out
+}

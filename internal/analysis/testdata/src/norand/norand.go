@@ -1,0 +1,29 @@
+// Package norandtest is a simlint fixture: nondeterministic inputs in a
+// deterministic package.
+package norandtest
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func now() int64 {
+	t := time.Now() // want "time.Now in a deterministic package"
+	return t.UnixNano() + int64(rand.Int())
+}
+
+// okDuration uses the time package without touching the clock.
+func okDuration() time.Duration {
+	var d time.Duration
+	return d
+}
+
+func suppressed() time.Time {
+	//lint:ignore norand fixture: reasoned suppression is honoured
+	return time.Now()
+}
+
+func wrongRuleDoesNotSuppress() time.Time {
+	//lint:ignore mapiter a different rule's directive must not hide this
+	return time.Now() // want "time.Now in a deterministic package"
+}

@@ -1,0 +1,69 @@
+// Package pooltest is a simlint fixture: scratch acquire/release
+// pairing, mirroring internal/core's engine pool.
+package pooltest
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+type engine struct{ pool sync.Pool }
+
+func (e *engine) getScratch() *scratch  { return e.pool.Get().(*scratch) }
+func (e *engine) putScratch(s *scratch) { e.pool.Put(s) }
+
+func (e *engine) okDefer() int {
+	s := e.getScratch()
+	defer e.putScratch(s)
+	return len(s.buf)
+}
+
+// okLinear releases before the only return, no defer needed.
+func (e *engine) okLinear() int {
+	s := e.getScratch()
+	n := len(s.buf)
+	e.putScratch(s)
+	return n
+}
+
+func (e *engine) leakEarlyReturn(fail bool) int {
+	s := e.getScratch() // want "not released"
+	if fail {
+		return 0
+	}
+	e.putScratch(s)
+	return len(s.buf)
+}
+
+// leakNoRelease falls off the end still holding the scratch.
+func (e *engine) leakNoRelease() {
+	s := e.getScratch() // want "not released"
+	_ = s
+}
+
+func (e *engine) okRawPool() {
+	s := e.pool.Get().(*scratch)
+	defer e.pool.Put(s)
+	s.buf = s.buf[:0]
+}
+
+// okClosure mirrors the worker-pool shape: each goroutine owns its
+// scratch and the closure is checked as its own function.
+func (e *engine) okClosure(workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := e.getScratch()
+			defer e.putScratch(s)
+			_ = s
+		}()
+	}
+	wg.Wait()
+}
+
+func (e *engine) suppressed() *scratch {
+	//lint:ignore poolbalance fixture: ownership transfers to the caller
+	s := e.getScratch()
+	return s
+}

@@ -1,0 +1,43 @@
+// Package seedmixtest is a simlint fixture: RNG seeds derived from
+// structured ids. The two "want" cases replicate the PR-1 pairSeed bug,
+// where u^(v<<1) collided for pairs like (0,1)/(2,0) and correlated
+// their walk streams.
+package seedmixtest
+
+import "repro/internal/rng"
+
+type engine struct {
+	seed uint64
+	rng  rng.Source
+}
+
+// pairSeedRaw is the historical bug shape: raw xor/shift of two ids.
+func (e *engine) pairSeedRaw(u, v uint32) *rng.Source {
+	return rng.New(e.seed ^ uint64(u) ^ uint64(v)<<1) // want "raw arithmetic"
+}
+
+// pairSeedMixedTooLate mixes after the collision already happened.
+func (e *engine) pairSeedMixedTooLate(u, v uint32) uint64 {
+	return rng.Mix(uint64(u) ^ uint64(v)<<1) // want "non-injectively"
+}
+
+// okPacked is the blessed form: injective pack, then the finalizer.
+func (e *engine) okPacked(u, v uint32) {
+	e.rng.Seed(e.seed ^ rng.Mix(uint64(u)<<32|uint64(v)))
+}
+
+// okSingleID: one id cannot collide with itself; salts are free.
+func (e *engine) okSingleID(u uint32) *rng.Source {
+	return rng.New(e.seed ^ (0x9e3779b97f4a7c15 * uint64(u+1)))
+}
+
+// viaLocal is the same bug hidden behind a local variable.
+func (e *engine) viaLocal(u, v uint32) {
+	seed := uint64(u) ^ uint64(v)<<1
+	e.rng.Seed(seed) // want "raw arithmetic"
+}
+
+func (e *engine) suppressed(u, v uint32) *rng.Source {
+	//lint:ignore seedmix fixture: collisions are acceptable in this toy
+	return rng.New(uint64(u) + uint64(v))
+}

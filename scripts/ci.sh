@@ -1,0 +1,34 @@
+#!/bin/sh
+# ci.sh — the full pre-merge gate, exactly as CI runs it. Exits nonzero
+# on the first failure, including any simlint diagnostic.
+#
+# Sequence: gofmt cleanliness, go vet, build, full shuffled test suite,
+# race pass over every package, simlint over ./... .
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -shuffle=on ./..."
+go test -shuffle=on ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> simlint ./..."
+go run ./cmd/simlint ./...
+
+echo "==> gate clean"
