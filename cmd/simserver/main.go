@@ -1,9 +1,16 @@
 // Command simserver serves top-k SimRank similarity search over HTTP.
 //
+// The index builds in the background: the server starts listening
+// immediately, /healthz reports the process is up, and /readyz flips from
+// 503 to 200 once the preprocess finishes and queries are served. Each
+// query runs under the request context bounded by -query-timeout, and
+// SIGINT/SIGTERM drain in-flight requests for up to -shutdown-grace.
+//
 // Example:
 //
 //	gengraph -kind copying -n 100000 -k 8 -o web.txt
 //	simserver -graph web.txt -addr :8080
+//	curl 'localhost:8080/readyz'
 //	curl 'localhost:8080/topk?u=42&k=20'
 //	curl 'localhost:8080/pair?u=42&v=99'
 //	curl 'localhost:8080/similar?u=42&theta=0.05'
@@ -19,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -36,6 +44,8 @@ func main() {
 	c := flag.Float64("c", 0.6, "decay factor")
 	theta := flag.Float64("theta", 0.01, "score threshold")
 	seed := flag.Uint64("seed", 1, "Monte-Carlo seed")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query computation deadline (0 = unlimited)")
+	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -52,29 +62,67 @@ func main() {
 	opts.Threshold = *theta
 	opts.Seed = *seed
 
-	var idx *simrank.Index
-	start := time.Now()
-	if *indexPath != "" {
-		f, err := os.Open(*indexPath)
-		if err != nil {
-			log.Fatal(err)
+	// The query handler is swapped in atomically once the index is ready;
+	// until then the bootstrap handler answers /healthz (process is up)
+	// and 503s everything else, so orchestrators can distinguish "alive"
+	// from "ready" during a long preprocess.
+	var ready atomic.Pointer[server.Handler]
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := ready.Load(); h != nil {
+			h.ServeHTTP(w, r)
+			return
 		}
-		idx, err = simrank.LoadIndex(g, opts, f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+			return
 		}
-		log.Printf("loaded index in %v", time.Since(start).Round(time.Millisecond))
-	} else {
-		idx = simrank.BuildIndex(g, opts)
-		log.Printf("preprocess in %v (%d KB)", time.Since(start).Round(time.Millisecond),
-			idx.Stats().IndexBytes/1024)
-	}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "index not ready", http.StatusServiceUnavailable)
+	})
 
+	buildDone := make(chan error, 1)
+	go func() {
+		var idx *simrank.Index
+		start := time.Now()
+		if *indexPath != "" {
+			f, err := os.Open(*indexPath)
+			if err != nil {
+				buildDone <- err
+				return
+			}
+			idx, err = simrank.LoadIndex(g, opts, f)
+			f.Close()
+			if err != nil {
+				buildDone <- err
+				return
+			}
+			log.Printf("loaded index in %v", time.Since(start).Round(time.Millisecond))
+		} else {
+			idx = simrank.BuildIndex(g, opts)
+			log.Printf("preprocess in %v (%d KB)", time.Since(start).Round(time.Millisecond),
+				idx.Stats().IndexBytes/1024)
+		}
+		h := server.New(idx)
+		h.QueryTimeout = *queryTimeout
+		ready.Store(h)
+		log.Print("ready")
+		buildDone <- nil
+	}()
+
+	// WriteTimeout backstops the per-query deadline: a handler that
+	// somehow exceeds its query budget still cannot hold the connection
+	// forever.
+	writeTimeout := 0 * time.Second
+	if *queryTimeout > 0 {
+		writeTimeout = *queryTimeout + 5*time.Second
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(idx),
+		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 	go func() {
 		log.Printf("listening on %s", *addr)
@@ -85,10 +133,17 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
+	select {
+	case err := <-buildDone:
+		if err != nil {
+			log.Fatal(err)
+		}
+		<-stop
+	case <-stop:
+	}
 	fmt.Println()
 	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatal(err)

@@ -1,6 +1,7 @@
 package simrank
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -21,15 +22,23 @@ func LoadIndex(g *Graph, opts Options, r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{g: g, e: e}, nil
+	return &Index{g: g, e: e.Seal()}, nil
 }
 
 // DynamicIndex is a similarity-search index over a mutable edge set.
-// Updates are buffered and applied incrementally on the next query: only
-// vertices whose random-walk behaviour could have changed are
-// re-preprocessed. Safe for use from one goroutine at a time per method
-// call group; concurrent queries interleaved with updates serialize on an
-// internal lock.
+// Queries are served lock-free from an immutable published snapshot, so
+// any number of goroutines may query and update concurrently without
+// stalling each other.
+//
+// Consistency contract: AddEdge/RemoveEdge buffer the change and return
+// immediately; queries keep answering from the current snapshot until a
+// refresh absorbs the updates. A query that notices buffered updates
+// nudges a single background worker, which rebuilds the affected
+// preprocess state off the query path and atomically publishes the new
+// snapshot — eventual consistency by default. Call Refresh to apply
+// buffered updates synchronously when read-your-writes is required.
+// Only vertices whose random-walk behaviour could have changed are
+// re-preprocessed; large batches fall back to a full rebuild.
 type DynamicIndex struct {
 	d *core.DynamicEngine
 }
@@ -64,25 +73,42 @@ func (dx *DynamicIndex) NumEdges() int { return dx.d.M() }
 // changes.
 func (dx *DynamicIndex) PendingUpdates() int { return dx.d.Pending() }
 
-// Refresh applies buffered updates now instead of on the next query.
+// Refresh applies buffered updates synchronously: once it returns,
+// queries observe every update buffered before the call.
 func (dx *DynamicIndex) Refresh() error { return dx.d.Refresh() }
 
-// TopK returns the k vertices most similar to u, applying pending
-// updates first.
+// Close stops the background refresh worker. The index remains queryable
+// (serving the last published snapshot, refreshing synchronously on
+// demand); Close only releases the goroutine.
+func (dx *DynamicIndex) Close() { dx.d.Close() }
+
+// TopK returns the k vertices most similar to u from the current
+// snapshot (see the consistency contract on DynamicIndex).
 func (dx *DynamicIndex) TopK(u, k int) ([]Result, error) {
+	return dx.TopKCtx(context.Background(), u, k)
+}
+
+// TopKCtx is TopK with cancellation, checked between candidate-scoring
+// blocks.
+func (dx *DynamicIndex) TopKCtx(ctx context.Context, u, k int) ([]Result, error) {
 	if u < 0 || u >= dx.d.N() {
 		return nil, errVertexRange(u, dx.d.N())
 	}
-	res, err := dx.d.TopK(uint32(u), k)
+	res, err := dx.d.TopKCtx(ctx, uint32(u), k)
 	if err != nil {
 		return nil, err
 	}
 	return toResults(res), nil
 }
 
-// SinglePair estimates the SimRank score between u and v, applying
-// pending updates first.
+// SinglePair estimates the SimRank score between u and v from the
+// current snapshot (see the consistency contract on DynamicIndex).
 func (dx *DynamicIndex) SinglePair(u, v int) (float64, error) {
+	return dx.SinglePairCtx(context.Background(), u, v)
+}
+
+// SinglePairCtx is SinglePair with cancellation, checked on entry.
+func (dx *DynamicIndex) SinglePairCtx(ctx context.Context, u, v int) (float64, error) {
 	n := dx.d.N()
 	if u < 0 || u >= n {
 		return 0, errVertexRange(u, n)
@@ -91,7 +117,10 @@ func (dx *DynamicIndex) SinglePair(u, v int) (float64, error) {
 		return 0, errVertexRange(v, n)
 	}
 	if u == v {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		return 1, nil
 	}
-	return dx.d.SinglePair(uint32(u), uint32(v))
+	return dx.d.SinglePairCtx(ctx, uint32(u), uint32(v))
 }

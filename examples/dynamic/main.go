@@ -1,7 +1,9 @@
 // Command dynamic demonstrates similarity search over an evolving graph:
 // a stream of edge insertions (a growing web crawl) interleaved with
 // queries. The DynamicIndex re-preprocesses only the vertices whose
-// random-walk behaviour an update could have changed.
+// random-walk behaviour an update could have changed; queries serve a
+// published snapshot, so each batch is applied with an explicit Refresh
+// before re-querying (read-your-writes on demand).
 //
 // Run with:
 //
@@ -22,6 +24,7 @@ func main() {
 	opts := simrank.DefaultOptions()
 	opts.Seed = 21
 	dx := simrank.NewDynamicIndexFrom(seed, opts)
+	defer dx.Close()
 
 	// Pick two quiet pages (at most one in-link) so the incoming
 	// co-citations dominate their similarity.
@@ -71,6 +74,11 @@ func main() {
 	}
 	fmt.Printf("applied 10 new edges (%d vertices pending re-preprocess)\n\n", dx.PendingUpdates())
 
+	// Queries would keep serving the pre-update snapshot until the
+	// background refresh lands; Refresh applies the batch synchronously.
+	if err := dx.Refresh(); err != nil {
+		log.Fatal(err)
+	}
 	after, err := dx.SinglePair(qa, qb)
 	if err != nil {
 		log.Fatal(err)
@@ -82,6 +90,9 @@ func main() {
 	for src := 100; src <= 104; src++ {
 		dx.RemoveEdge(src, qa)
 		dx.RemoveEdge(src, qb)
+	}
+	if err := dx.Refresh(); err != nil {
+		log.Fatal(err)
 	}
 	restored, err := dx.SinglePair(qa, qb)
 	if err != nil {

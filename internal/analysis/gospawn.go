@@ -25,6 +25,7 @@ var goSpawnAllow = map[string]bool{
 	"forEachVertexParallel": true, // allpairs.go: atomic-cursor vertex pool
 	"parallelVertices":      true, // engine.go: contiguous block shards
 	"scoreBlockParallel":    true, // query.go: per-block candidate scoring
+	"startRefresher":        true, // dynamic.go: the single background snapshot builder
 }
 
 func runGoSpawn(pass *Pass) error {

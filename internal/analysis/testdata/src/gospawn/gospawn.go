@@ -36,6 +36,12 @@ func fireAndForget(fn func()) {
 	go fn() // want "outside the approved worker pools"
 }
 
+// startRefresher is the approved long-lived background worker shape: one
+// goroutine, spawned once, outside any loop.
+func startRefresher(loop func()) {
+	go loop()
+}
+
 func suppressed(fn func()) {
 	//lint:ignore gospawn fixture: reasoned suppression is honoured
 	go fn()

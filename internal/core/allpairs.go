@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -11,27 +12,41 @@ import (
 //
 // The per-vertex searches are independent (the paper notes the algorithm
 // is distributed-computing friendly); parallel efficiency is near-linear.
-func (e *Engine) AllTopK(k int) [][]Scored {
+func (e *Snapshot) AllTopK(k int) [][]Scored {
+	out, _ := e.AllTopKCtx(context.Background(), k)
+	return out
+}
+
+// AllTopKCtx is AllTopK with cancellation: workers stop picking up new
+// vertices once ctx is cancelled and the call returns ctx.Err(). The
+// partially-filled result is discarded.
+func (e *Snapshot) AllTopKCtx(ctx context.Context, k int) ([][]Scored, error) {
 	out := make([][]Scored, e.g.N())
-	e.forEachVertexParallel(func(u uint32) {
-		res, _ := e.search(u, k, e.p.Theta, 1)
+	err := e.forEachVertexParallel(ctx, func(u uint32) {
+		res, _, _ := e.search(ctx, u, k, e.p.Theta, 1)
 		out[u] = res
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AllTopKFunc streams per-vertex results to fn instead of materializing
 // them; fn may be called concurrently from multiple goroutines.
-func (e *Engine) AllTopKFunc(k int, fn func(u uint32, res []Scored)) {
-	e.forEachVertexParallel(func(u uint32) {
-		res, _ := e.search(u, k, e.p.Theta, 1)
+func (e *Snapshot) AllTopKFunc(k int, fn func(u uint32, res []Scored)) {
+	e.forEachVertexParallel(context.Background(), func(u uint32) {
+		res, _, _ := e.search(context.Background(), u, k, e.p.Theta, 1)
 		fn(u, res)
 	})
 }
 
 // forEachVertexParallel runs fn for every vertex using a shared atomic
 // cursor, which balances skewed per-query costs better than striding.
-func (e *Engine) forEachVertexParallel(fn func(u uint32)) {
+// Cancellation is observed between vertices: a worker that sees a
+// cancelled ctx stops claiming new vertices, and the call reports
+// ctx.Err() after every worker has drained.
+func (e *Snapshot) forEachVertexParallel(ctx context.Context, fn func(u uint32)) error {
 	n := e.g.N()
 	workers := e.p.Workers
 	if workers > n {
@@ -39,9 +54,12 @@ func (e *Engine) forEachVertexParallel(fn func(u uint32)) {
 	}
 	if workers <= 1 {
 		for u := 0; u < n; u++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(uint32(u))
 		}
-		return
+		return nil
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -49,7 +67,7 @@ func (e *Engine) forEachVertexParallel(fn func(u uint32)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				u := cursor.Add(1) - 1
 				if u >= int64(n) {
 					return
@@ -59,4 +77,5 @@ func (e *Engine) forEachVertexParallel(fn func(u uint32)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

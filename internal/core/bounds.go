@@ -62,13 +62,13 @@ func (e *Engine) computeGammaInto(v uint32, R int, r *rng.Source, s *scratch, ou
 
 // Gamma returns the preprocessed γ(v, t). It panics if the preprocess has
 // not run or t is out of range.
-func (e *Engine) Gamma(v uint32, t int) float64 {
+func (e *Snapshot) Gamma(v uint32, t int) float64 {
 	return float64(e.gamma[int(v)*e.p.T+t])
 }
 
 // L2Bound returns the Cauchy–Schwarz upper bound Σ_t cᵗ·γ(u,t)·γ(v,t) on
 // s⁽ᵀ⁾(u, v) (Proposition 6). It requires the preprocess.
-func (e *Engine) L2Bound(u, v uint32) float64 {
+func (e *Snapshot) L2Bound(u, v uint32) float64 {
 	T := e.p.T
 	gu := e.gamma[int(u)*T : int(u)*T+T]
 	gv := e.gamma[int(v)*T : int(v)*T+T]
@@ -137,7 +137,7 @@ func (wd *walkDist) forEach(t int, fn func(w uint32, pr float64)) {
 // sampleWalkDistInto runs R walks from u and tabulates the per-step
 // empirical distributions into wd, using s for tallies. Zero allocations
 // after the backing arrays have warmed up.
-func (e *Engine) sampleWalkDistInto(wd *walkDist, s *scratch, u uint32, R int, r *rng.Source) {
+func (e *Snapshot) sampleWalkDistInto(wd *walkDist, s *scratch, u uint32, R int, r *rng.Source) {
 	T := e.p.T
 	wd.reset(T)
 	pos := s.walkBuf(R)
@@ -169,7 +169,7 @@ func (e *Engine) sampleWalkDistInto(wd *walkDist, s *scratch, u uint32, R int, r
 // exceeds cap, signalling the caller to fall back to sampling (wd is then
 // in an unspecified state). Mass is propagated in ascending vertex order,
 // so the floating-point result is fully deterministic.
-func (e *Engine) exactWalkDistInto(wd *walkDist, s *scratch, u uint32, cap int) bool {
+func (e *Snapshot) exactWalkDistInto(wd *walkDist, s *scratch, u uint32, cap int) bool {
 	T := e.p.T
 	wd.reset(T)
 	s.ensureAcc()
@@ -206,7 +206,7 @@ func (e *Engine) exactWalkDistInto(wd *walkDist, s *scratch, u uint32, cap int) 
 // dotSeries evaluates the truncated series deterministically from two
 // walk distributions: Σ_t cᵗ Σ_w xₜ(w)·D_ww·yₜ(w). Both supports are
 // sorted, so this is a per-step merge join with a fixed summation order.
-func (e *Engine) dotSeries(x, y *walkDist) float64 {
+func (e *Snapshot) dotSeries(x, y *walkDist) float64 {
 	sum := 0.0
 	ct := 1.0
 	for t := 0; t < e.p.T; t++ {
@@ -250,7 +250,7 @@ type l1Table struct {
 // local BFS was truncated by the ball budget) are folded into a per-step
 // overflow maximum so that β remains a valid upper bound. The returned
 // table aliases s and is valid until the scratch's next query.
-func (e *Engine) computeL1From(s *scratch, wd *walkDist, dist []int32, exploredRadius int) *l1Table {
+func (e *Snapshot) computeL1From(s *scratch, wd *walkDist, dist []int32, exploredRadius int) *l1Table {
 	T, dmax := e.p.T, e.p.DMax
 	// alpha[d*T + t] = α(u, d, t).
 	s.alpha = floatBuf(s.alpha, (dmax+1)*T)
@@ -319,7 +319,7 @@ func (l *l1Table) bound(d int) float64 {
 // at most max_w D_ww, giving Σ_{t ≥ ⌈d/2⌉} cᵗ·maxD = maxD·c^⌈d/2⌉/(1−c).
 // With the default D = (1−c)·I this is exactly c^⌈d/2⌉. (The paper states
 // s(u,v) ≤ c^d; this variant is the one provable for undirected distance.)
-func (e *Engine) DistanceBound(d int) float64 {
+func (e *Snapshot) DistanceBound(d int) float64 {
 	if d <= 0 {
 		return 1
 	}
@@ -338,7 +338,7 @@ func (e *Engine) DistanceBound(d int) float64 {
 // L1Bound computes β(u, ·) for the query vertex u and returns the bound
 // evaluated at distance d(u,v). Exposed for tests and ablation studies;
 // the query phase shares one table across all candidates.
-func (e *Engine) L1Bound(u uint32, d int) float64 {
+func (e *Snapshot) L1Bound(u uint32, d int) float64 {
 	s := e.getScratch()
 	defer e.putScratch(s)
 	dist := s.distBuf()

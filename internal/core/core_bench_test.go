@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/graph"
@@ -169,6 +170,53 @@ func BenchmarkSimilarityJoinSmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.SimilarityJoin(0.05, 0)
 	}
+}
+
+// BenchmarkTopKDuringRefresh measures query latency on the serving path
+// while a churn goroutine continuously rebuilds snapshots — the number
+// that demonstrates lock-free snapshot reads: queries served from the
+// published snapshot should not degrade toward preprocess latency.
+func BenchmarkTopKDuringRefresh(b *testing.B) {
+	g := graph.CopyingModel(20000, 8, 0.3, 1)
+	p := DefaultParams()
+	p.Seed = 1
+	d := NewDynamicFrom(g, p)
+	defer d.Close()
+	if err := d.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	n := uint32(g.N())
+
+	var stop atomic.Bool
+	var churnDone sync.WaitGroup
+	churnDone.Add(1)
+	go func() {
+		defer churnDone.Done()
+		for i := uint32(0); !stop.Load(); i++ {
+			u := (i*17 + 11) % (n - 1)
+			d.AddEdge(u, u+1)
+			if err := d.Refresh(); err != nil {
+				b.Error(err)
+				return
+			}
+			d.RemoveEdge(u, u+1)
+			if err := d.Refresh(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.TopK(uint32(i*7919+13)%n, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stop.Store(true)
+	churnDone.Wait()
 }
 
 func BenchmarkDynamicIncrementalRefresh(b *testing.B) {

@@ -16,6 +16,7 @@ func dynParams() Params {
 
 func TestDynamicBasicLifecycle(t *testing.T) {
 	d := NewDynamic(6, dynParams())
+	defer d.Close()
 	// 1, 2, 3 all link to both 4 and 5.
 	for _, src := range []uint32{1, 2, 3} {
 		if err := d.AddEdge(src, 4); err != nil {
@@ -56,8 +57,13 @@ func TestDynamicUpdateChangesScores(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Now give 5 two extra unshared in-links: similarity must drop.
+	// Queries serve the stale snapshot until a refresh, so apply the
+	// batch synchronously before re-querying.
 	d.AddEdge(6, 5)
 	d.AddEdge(7, 5)
+	if err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
 	after, err := d.SinglePair(4, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +75,9 @@ func TestDynamicUpdateChangesScores(t *testing.T) {
 	// (same edge set, same seeds).
 	d.RemoveEdge(6, 5)
 	d.RemoveEdge(7, 5)
+	if err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
 	restored, err := d.SinglePair(4, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +93,7 @@ func TestDynamicMatchesFullRebuild(t *testing.T) {
 	g := graph.CopyingModel(400, 4, 0.3, 9)
 	p := dynParams()
 	d := NewDynamicFrom(g, p)
+	defer d.Close()
 	if _, err := d.TopK(0, 5); err != nil { // force initial build
 		t.Fatal(err)
 	}
@@ -100,7 +110,7 @@ func TestDynamicMatchesFullRebuild(t *testing.T) {
 		t.Fatalf("refresh counts: inc=%d full=%d", inc, full)
 	}
 
-	eng, err := d.Engine()
+	eng, err := d.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}

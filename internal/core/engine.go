@@ -9,38 +9,14 @@ import (
 	"repro/internal/rng"
 )
 
-// Engine bundles a graph with the preprocess results (γ table and the
-// bipartite candidate index) and answers top-k similarity queries.
-//
-// Build an Engine once with Build, then issue queries from any number of
-// goroutines: queries do not mutate the engine, and every query draws its
-// working buffers from a shared sync.Pool, so steady-state queries are
-// (nearly) allocation-free.
+// Engine is the builder side of the system: it wraps a Snapshot and runs
+// the preprocess passes (the γ table of Algorithm 3 and the candidate
+// index of Algorithm 4) that fill it. Every query method lives on the
+// embedded Snapshot, so an Engine answers queries directly; once the
+// preprocess results are final, Seal returns the Snapshot for read-only
+// publication (see DynamicEngine).
 type Engine struct {
-	g *graph.Graph
-	p Params
-
-	// gamma[v*T + t] = γ(v, t) from Algorithm 3 (L2 bound), row-major.
-	gamma []float32
-
-	// idx is the bipartite candidate index H from Algorithm 4:
-	// idx lists each left vertex's right-neighbours; inv is the
-	// inverted (right -> left) direction used for candidate joins.
-	idx *candidateIndex
-
-	// pool recycles query/preprocess scratch buffers (see scratch.go).
-	pool sync.Pool
-
-	stats PreprocessStats
-}
-
-// PreprocessStats records the cost of each preprocess component.
-type PreprocessStats struct {
-	GammaTime time.Duration
-	IndexTime time.Duration
-	// IndexBytes approximates the memory footprint of the preprocess
-	// results (γ table + candidate index).
-	IndexBytes int64
+	*Snapshot
 }
 
 // Build runs the full preprocess of Section 7.1 — the γ table of
@@ -57,24 +33,16 @@ func Build(g *graph.Graph, p Params) *Engine {
 // immediately; TopK and Threshold queries require Preprocess first unless
 // Params.Strategy is CandidatesBall and the L2 bound is disabled.
 func New(g *graph.Graph, p Params) *Engine {
-	e := &Engine{g: g, p: p.normalized()}
-	n := g.N()
-	e.pool.New = func() any { return newScratch(n) }
-	return e
+	return &Engine{Snapshot: newSnapshot(g, p)}
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
-
-// Params returns the engine's normalized parameters.
-func (e *Engine) Params() Params { return e.p }
-
-// Stats returns preprocess cost statistics.
-func (e *Engine) Stats() PreprocessStats { return e.stats }
-
 // Preprocess computes the γ table (Algorithm 3) and the candidate index
-// (Algorithm 4). It may be called again after parameter changes.
+// (Algorithm 4). It may be called again after parameter changes, but
+// never on a sealed (published) snapshot.
 func (e *Engine) Preprocess() {
+	if e.sealed {
+		panic("core: Preprocess on a sealed snapshot")
+	}
 	start := time.Now()
 	if !e.p.DisableL2 {
 		e.computeGammaAll()
@@ -93,6 +61,14 @@ func (e *Engine) Preprocess() {
 	}
 }
 
+// Seal marks the preprocess results final and returns the snapshot for
+// read-only sharing. The engine must not preprocess again afterwards;
+// the returned snapshot is safe to publish to concurrent readers.
+func (e *Engine) Seal() *Snapshot {
+	e.sealed = true
+	return e.Snapshot
+}
+
 // phase salts keep the RNG streams of the preprocess passes and the
 // per-candidate scoring streams disjoint (and reproducible per vertex
 // regardless of worker count or whether a vertex is recomputed
@@ -105,7 +81,7 @@ const (
 
 // vertexSeed derives the deterministic RNG seed for one vertex in one
 // preprocess phase.
-func (e *Engine) vertexSeed(phase uint64, v uint32) uint64 {
+func (e *Snapshot) vertexSeed(phase uint64, v uint32) uint64 {
 	return e.p.Seed ^ phase ^ (0x9e3779b97f4a7c15 * uint64(v+1))
 }
 
@@ -114,14 +90,14 @@ func (e *Engine) vertexSeed(phase uint64, v uint32) uint64 {
 // finalizer, so distinct pairs get distinct, well-separated streams. (The
 // previous scheme hashed u ^ (v<<1), which collides for families like
 // (0,1)/(2,0): any pairs with equal u⊕(v<<1) shared a walk stream.)
-func (e *Engine) pairSeed(u, v uint32) uint64 {
+func (e *Snapshot) pairSeed(u, v uint32) uint64 {
 	return e.p.Seed ^ rng.Mix(uint64(u)<<32|uint64(v))
 }
 
 // candSeed derives the per-candidate scoring seed for candidate v of a
 // query at u. Seeding per candidate (not per query) makes a candidate's
 // score independent of evaluation order — and hence of Params.Workers.
-func (e *Engine) candSeed(u, v uint32) uint64 {
+func (e *Snapshot) candSeed(u, v uint32) uint64 {
 	return e.p.Seed ^ saltScore ^ rng.Mix(uint64(u)<<32|uint64(v))
 }
 
@@ -167,7 +143,7 @@ func (e *Engine) parallelVertices(phase uint64, fn func(v uint32, r *rng.Source,
 }
 
 // queryRNG returns the deterministic RNG stream for queries at vertex u.
-func (e *Engine) queryRNG(u uint32) *rng.Source {
+func (e *Snapshot) queryRNG(u uint32) *rng.Source {
 	return rng.New(e.p.Seed ^ 0xd1b54a32d192ed03 ^ (0xbf58476d1ce4e5b9 * uint64(u+1)))
 }
 

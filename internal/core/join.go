@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 )
@@ -14,7 +15,15 @@ import (
 //
 // maxPairs caps the output size (0 = unlimited); when the cap is hit the
 // lowest-scoring pairs are dropped, keeping the strongest joins.
-func (e *Engine) SimilarityJoin(theta float64, maxPairs int) []JoinPair {
+func (e *Snapshot) SimilarityJoin(theta float64, maxPairs int) []JoinPair {
+	out, _ := e.SimilarityJoinCtx(context.Background(), theta, maxPairs)
+	return out
+}
+
+// SimilarityJoinCtx is SimilarityJoin with cancellation: the per-vertex
+// threshold queries stop once ctx is cancelled and the call returns
+// ctx.Err() with no partial output.
+func (e *Snapshot) SimilarityJoinCtx(ctx context.Context, theta float64, maxPairs int) ([]JoinPair, error) {
 	type keyed struct {
 		key   uint64
 		score float64
@@ -22,11 +31,11 @@ func (e *Engine) SimilarityJoin(theta float64, maxPairs int) []JoinPair {
 	var mu sync.Mutex
 	seen := make(map[uint64]float64)
 
-	e.forEachVertexParallel(func(u uint32) {
+	err := e.forEachVertexParallel(ctx, func(u uint32) {
 		// Workers are already saturated across query vertices; each inner
 		// query runs sequentially to avoid nested parallelism.
-		res, _ := e.search(u, 0, theta, 1)
-		if len(res) == 0 {
+		res, _, err := e.search(ctx, u, 0, theta, 1)
+		if err != nil || len(res) == 0 {
 			return
 		}
 		mu.Lock()
@@ -45,6 +54,9 @@ func (e *Engine) SimilarityJoin(theta float64, maxPairs int) []JoinPair {
 		}
 		mu.Unlock()
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	pairs := make([]keyed, 0, len(seen))
 	for k, s := range seen {
@@ -63,7 +75,7 @@ func (e *Engine) SimilarityJoin(theta float64, maxPairs int) []JoinPair {
 	for i, p := range pairs {
 		out[i] = JoinPair{U: uint32(p.key >> 32), V: uint32(p.key & 0xffffffff), Score: p.score}
 	}
-	return out
+	return out, nil
 }
 
 // JoinPair is one result of SimilarityJoin, with U < V.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -20,33 +21,67 @@ import (
 //	n uint32 | T uint32 | c float64 | seed uint64
 //	hasGamma uint8 [ gamma: n*T float32 ]
 //	hasIndex uint8 [ per vertex: len uint32, entries uint32... ]
+//	crc uint32            (version >= 2: CRC-32C of every preceding byte)
+//
+// Version 2 appends a CRC-32 (Castagnoli) trailer over the header and
+// payload, so LoadIndex rejects truncated or bit-flipped index files with
+// a clear error instead of silently loading garbage. Version-1 files
+// (no trailer) are still read.
 
 const (
 	persistMagic   = 0x53494D52 // "SIMR"
-	persistVersion = 1
+	persistVersion = 2
 )
 
+// persistCRCTable is the Castagnoli polynomial table shared by save/load.
+var persistCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter forwards writes and accumulates a running CRC-32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, persistCRCTable, p[:n])
+	return n, err
+}
+
+// crcReader forwards reads and accumulates a running CRC-32C.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, persistCRCTable, p[:n])
+	return n, err
+}
+
 // SaveIndex writes the preprocess results to w.
-func (e *Engine) SaveIndex(w io.Writer) error {
+func (e *Snapshot) SaveIndex(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
 	hdr := struct {
 		Magic, Version uint32
 		N, T           uint32
 		C              float64
 		Seed           uint64
 	}{persistMagic, persistVersion, uint32(e.g.N()), uint32(e.p.T), e.p.C, e.p.Seed}
-	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, &hdr); err != nil {
 		return err
 	}
 	hasGamma := uint8(0)
 	if e.gamma != nil {
 		hasGamma = 1
 	}
-	if err := binary.Write(bw, binary.LittleEndian, hasGamma); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, hasGamma); err != nil {
 		return err
 	}
 	if hasGamma == 1 {
-		if err := binary.Write(bw, binary.LittleEndian, e.gamma); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, e.gamma); err != nil {
 			return err
 		}
 	}
@@ -54,20 +89,25 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 	if e.idx != nil {
 		hasIndex = 1
 	}
-	if err := binary.Write(bw, binary.LittleEndian, hasIndex); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, hasIndex); err != nil {
 		return err
 	}
 	if hasIndex == 1 {
 		for _, rs := range e.idx.right {
-			if err := binary.Write(bw, binary.LittleEndian, uint32(len(rs))); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, uint32(len(rs))); err != nil {
 				return err
 			}
 			if len(rs) > 0 {
-				if err := binary.Write(bw, binary.LittleEndian, rs); err != nil {
+				if err := binary.Write(cw, binary.LittleEndian, rs); err != nil {
 					return err
 				}
 			}
 		}
+	}
+	// The trailer itself is not part of the checksummed range: write it
+	// directly to the buffered writer.
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -75,23 +115,25 @@ func (e *Engine) SaveIndex(w io.Writer) error {
 // LoadIndex reads preprocess results saved by SaveIndex into a new engine
 // over the same graph. The stored T and n must match; c and seed are
 // informational (a mismatch is rejected because bounds and estimates
-// would be inconsistent).
+// would be inconsistent). Version-2 files are verified against their
+// CRC-32C trailer; version-1 files load without integrity checking.
 func LoadIndex(g *graph.Graph, p Params, r io.Reader) (*Engine, error) {
 	e := New(g, p)
 	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
 	var hdr struct {
 		Magic, Version uint32
 		N, T           uint32
 		C              float64
 		Seed           uint64
 	}
-	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &hdr); err != nil {
 		return nil, fmt.Errorf("core: reading index header: %w", err)
 	}
 	if hdr.Magic != persistMagic {
 		return nil, fmt.Errorf("core: bad index magic %#x", hdr.Magic)
 	}
-	if hdr.Version != persistVersion {
+	if hdr.Version != 1 && hdr.Version != persistVersion {
 		return nil, fmt.Errorf("core: unsupported index version %d", hdr.Version)
 	}
 	if int(hdr.N) != g.N() {
@@ -104,12 +146,12 @@ func LoadIndex(g *graph.Graph, p Params, r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("core: index built with c=%v, params use c=%v", hdr.C, e.p.C)
 	}
 	var hasGamma uint8
-	if err := binary.Read(br, binary.LittleEndian, &hasGamma); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &hasGamma); err != nil {
 		return nil, fmt.Errorf("core: reading gamma flag: %w", err)
 	}
 	if hasGamma == 1 {
 		e.gamma = make([]float32, g.N()*e.p.T)
-		if err := binary.Read(br, binary.LittleEndian, e.gamma); err != nil {
+		if err := binary.Read(cr, binary.LittleEndian, e.gamma); err != nil {
 			return nil, fmt.Errorf("core: reading gamma table: %w", err)
 		}
 		for _, v := range e.gamma {
@@ -119,14 +161,14 @@ func LoadIndex(g *graph.Graph, p Params, r io.Reader) (*Engine, error) {
 		}
 	}
 	var hasIndex uint8
-	if err := binary.Read(br, binary.LittleEndian, &hasIndex); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &hasIndex); err != nil {
 		return nil, fmt.Errorf("core: reading index flag: %w", err)
 	}
 	if hasIndex == 1 {
 		idx := &candidateIndex{right: make([][]uint32, g.N())}
 		for v := 0; v < g.N(); v++ {
 			var ln uint32
-			if err := binary.Read(br, binary.LittleEndian, &ln); err != nil {
+			if err := binary.Read(cr, binary.LittleEndian, &ln); err != nil {
 				return nil, fmt.Errorf("core: reading index entry %d: %w", v, err)
 			}
 			if int(ln) > g.N() {
@@ -136,7 +178,7 @@ func LoadIndex(g *graph.Graph, p Params, r io.Reader) (*Engine, error) {
 				continue
 			}
 			rs := make([]uint32, ln)
-			if err := binary.Read(br, binary.LittleEndian, rs); err != nil {
+			if err := binary.Read(cr, binary.LittleEndian, rs); err != nil {
 				return nil, fmt.Errorf("core: reading index entry %d: %w", v, err)
 			}
 			for _, w := range rs {
@@ -148,6 +190,18 @@ func LoadIndex(g *graph.Graph, p Params, r io.Reader) (*Engine, error) {
 		}
 		idx.buildInverted(g.N())
 		e.idx = idx
+	}
+	if hdr.Version >= 2 {
+		// The payload CRC must be captured before the trailer read mixes
+		// the stored checksum bytes into the accumulator.
+		sum := cr.crc
+		var stored uint32
+		if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+			return nil, fmt.Errorf("core: reading checksum trailer (truncated index file?): %w", err)
+		}
+		if stored != sum {
+			return nil, fmt.Errorf("core: index checksum mismatch (stored %#08x, computed %#08x): corrupted index file", stored, sum)
+		}
 	}
 	e.stats.IndexBytes = int64(len(e.gamma)) * 4
 	if e.idx != nil {

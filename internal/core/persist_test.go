@@ -101,6 +101,88 @@ func TestLoadIndexRejectsMismatch(t *testing.T) {
 	}
 }
 
+func TestLoadIndexChecksum(t *testing.T) {
+	g := graph.CopyingModel(150, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(g, p)
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	// A clean file loads.
+	if _, err := LoadIndex(g, p, bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Any single bit flip in the payload must be rejected. Probe a spread
+	// of offsets: header, gamma region, index region.
+	payload := len(saved) - 4 // trailer excluded from the checksummed range
+	for _, off := range []int{9, payload / 3, payload / 2, payload - 1} {
+		bad := bytes.Clone(saved)
+		bad[off] ^= 0x10
+		_, err := LoadIndex(g, p, bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("bit flip at offset %d loaded without error", off)
+		}
+	}
+
+	// A corrupted trailer is a checksum mismatch too.
+	bad := bytes.Clone(saved)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := LoadIndex(g, p, bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupt trailer: err = %v, want checksum mismatch", err)
+	}
+
+	// A file cut right before the trailer parses as payload but must be
+	// rejected as truncated.
+	if _, err := LoadIndex(g, p, bytes.NewReader(saved[:len(saved)-4])); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("missing trailer: err = %v, want truncation error", err)
+	}
+	// Likewise a partial trailer.
+	if _, err := LoadIndex(g, p, bytes.NewReader(saved[:len(saved)-2])); err == nil {
+		t.Fatal("partial trailer loaded without error")
+	}
+}
+
+func TestLoadIndexReadsVersion1(t *testing.T) {
+	// A version-1 file is a version-2 file with the version field patched
+	// and the CRC trailer stripped; it must still load, without integrity
+	// checking.
+	g := graph.CopyingModel(150, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(g, p)
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Clone(buf.Bytes())
+	v1 = v1[:len(v1)-4] // strip trailer
+	v1[4] = 1           // version field (little endian uint32 after magic)
+	v1[5], v1[6], v1[7] = 0, 0, 0
+
+	e2, err := LoadIndex(g, p, bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < 10; u++ {
+		ra, rb := e.TopK(u, 5), e2.TopK(u, 5)
+		if len(ra) != len(rb) {
+			t.Fatalf("u=%d: result lengths differ", u)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("u=%d: results differ", u)
+			}
+		}
+	}
+}
+
 // failingWriter errors after n bytes.
 type failingWriter struct{ n int }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"slices"
 	"sync"
@@ -53,30 +54,61 @@ const minParallelScore = 16
 
 // TopK answers Problem 1: the k vertices most similar to u, best first.
 // Requires a preprocessed engine (see Build).
-func (e *Engine) TopK(u uint32, k int) []Scored {
+func (e *Snapshot) TopK(u uint32, k int) []Scored {
 	res, _ := e.TopKStats(u, k)
 	return res
 }
 
+// TopKCtx is TopK with cancellation: the search checks ctx between
+// candidate-scoring blocks and returns ctx.Err() as soon as it observes a
+// cancelled or expired context, so abandoned requests stop burning walk
+// budget. Results and statistics for an uncancelled context are
+// byte-identical to TopK.
+func (e *Snapshot) TopKCtx(ctx context.Context, u uint32, k int) ([]Scored, error) {
+	res, _, err := e.search(ctx, u, k, e.p.Theta, e.p.Workers)
+	return res, err
+}
+
 // TopKStats is TopK plus pruning statistics.
-func (e *Engine) TopKStats(u uint32, k int) ([]Scored, QueryStats) {
-	return e.search(u, k, e.p.Theta, e.p.Workers)
+func (e *Snapshot) TopKStats(u uint32, k int) ([]Scored, QueryStats) {
+	res, stats, _ := e.search(context.Background(), u, k, e.p.Theta, e.p.Workers)
+	return res, stats
+}
+
+// TopKStatsCtx is TopKStats with cancellation (see TopKCtx).
+func (e *Snapshot) TopKStatsCtx(ctx context.Context, u uint32, k int) ([]Scored, QueryStats, error) {
+	return e.search(ctx, u, k, e.p.Theta, e.p.Workers)
 }
 
 // Threshold returns every vertex whose estimated score is at least theta,
 // best first. This is the query mode used by the accuracy experiment
 // (Section 8.2), where the paper counts recovered "high score" vertices.
-func (e *Engine) Threshold(u uint32, theta float64) []Scored {
-	res, _ := e.search(u, 0, theta, e.p.Workers)
+func (e *Snapshot) Threshold(u uint32, theta float64) []Scored {
+	res, _, _ := e.search(context.Background(), u, 0, theta, e.p.Workers)
 	return res
+}
+
+// ThresholdCtx is Threshold with cancellation (see TopKCtx).
+func (e *Snapshot) ThresholdCtx(ctx context.Context, u uint32, theta float64) ([]Scored, error) {
+	res, _, err := e.search(ctx, u, 0, theta, e.p.Workers)
+	return res, err
 }
 
 // search implements Algorithm 5 (QUERY). k == 0 means unlimited. workers
 // is the candidate-scoring fan-out; callers that already parallelize
 // across queries (AllTopK, SimilarityJoin, batch) pass 1 to avoid nested
 // parallelism.
-func (e *Engine) search(u uint32, k int, theta float64, workers int) ([]Scored, QueryStats) {
+//
+// Cancellation is checked once on entry and then between candidate-scoring
+// blocks (never inside one), so a cancelled query returns ctx.Err()
+// within one block's worth of work and the block-synchronous determinism
+// argument is untouched. All scratch buffers are released on every return
+// path (the deferred putScratch covers cancellation too).
+func (e *Snapshot) search(ctx context.Context, u uint32, k int, theta float64, workers int) ([]Scored, QueryStats, error) {
 	var stats QueryStats
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	qs := e.getScratch()
 	defer e.putScratch(qs)
 	r := e.queryRNG(u)
@@ -159,6 +191,10 @@ func (e *Engine) search(u uint32, k int, theta float64, workers int) ([]Scored, 
 	}
 	scores := qs.scores
 	for i := 0; i < len(bs); {
+		if err := ctx.Err(); err != nil {
+			qs.scores = scores
+			return nil, stats, err
+		}
 		// The pruning floor is re-evaluated once per block, from fully
 		// merged results only — deterministic regardless of workers.
 		floor := theta
@@ -208,13 +244,13 @@ func (e *Engine) search(u uint32, k int, theta float64, workers int) ([]Scored, 
 		i = end
 	}
 	qs.scores = scores
-	return acc.result(), stats
+	return acc.result(), stats, nil
 }
 
 // scoreBlockParallel fans one block of candidates out to workers. Each
 // candidate's walks come from its own pair-seeded stream (candSeed), so
 // which goroutine scores it — and in what order — cannot change its score.
-func (e *Engine) scoreBlockParallel(block []boundedCand, scores []candScore, u uint32, wd *walkDist, floor float64, exactU bool, workers int) {
+func (e *Snapshot) scoreBlockParallel(block []boundedCand, scores []candScore, u uint32, wd *walkDist, floor float64, exactU bool, workers int) {
 	if workers > len(block) {
 		workers = len(block)
 	}
@@ -241,7 +277,7 @@ func (e *Engine) scoreBlockParallel(block []boundedCand, scores []candScore, u u
 // scoreCandidate produces the estimate (or rough-prune verdict) for one
 // candidate v of a query at u. The candidate's RNG is seeded from (u, v),
 // never shared, so the result is a pure function of the engine state.
-func (e *Engine) scoreCandidate(s *scratch, wd *walkDist, u, v uint32, floor float64, exactU bool) candScore {
+func (e *Snapshot) scoreCandidate(s *scratch, wd *walkDist, u, v uint32, floor float64, exactU bool) candScore {
 	if exactU {
 		// Deterministic scoring: propagate the candidate side exactly too
 		// when its support allows it.
@@ -267,7 +303,7 @@ func (e *Engine) scoreCandidate(s *scratch, wd *walkDist, u, v uint32, floor flo
 // collectCandidates enumerates candidate vertices for the query according
 // to Params.Strategy, deduplicated through the scratch's epoch marks. The
 // returned slice aliases qs.cands.
-func (e *Engine) collectCandidates(qs *scratch, u uint32, dist []int32, ball []uint32) []uint32 {
+func (e *Snapshot) collectCandidates(qs *scratch, u uint32, dist []int32, ball []uint32) []uint32 {
 	out := qs.cands[:0]
 	qs.beginTally()
 	qs.checkSeen(u) // never a candidate of itself

@@ -175,12 +175,14 @@ func floatBuf(buf []float64, n int) []float64 {
 	return buf
 }
 
-// getScratch takes a scratch from the engine's pool.
-func (e *Engine) getScratch() *scratch {
+// getScratch takes a scratch from the snapshot's pool.
+func (e *Snapshot) getScratch() *scratch {
+	e.poolGets.Add(1)
 	return e.pool.Get().(*scratch)
 }
 
 // putScratch returns a scratch to the pool.
-func (e *Engine) putScratch(s *scratch) {
+func (e *Snapshot) putScratch(s *scratch) {
+	e.poolPuts.Add(1)
 	e.pool.Put(s)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 
 	"repro/internal/rng"
@@ -9,13 +10,24 @@ import (
 // SinglePair estimates the truncated SimRank score s⁽ᵀ⁾(u, v) with
 // Algorithm 1 of the paper, using Params.RScore walk pairs. The estimate
 // is unbiased for each series term and concentrates per Proposition 3.
-func (e *Engine) SinglePair(u, v uint32) float64 {
+func (e *Snapshot) SinglePair(u, v uint32) float64 {
 	return e.SinglePairR(u, v, e.p.RScore)
+}
+
+// SinglePairCtx is SinglePair with cancellation. A single-pair estimate
+// is one bounded O(T·R) unit of work, so the context is checked once on
+// entry; a cancelled context returns ctx.Err() without touching the
+// scratch pool.
+func (e *Snapshot) SinglePairCtx(ctx context.Context, u, v uint32) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.SinglePair(u, v), nil
 }
 
 // SinglePairR is SinglePair with an explicit sample count R, used by the
 // adaptive sampling of the query phase and by accuracy experiments.
-func (e *Engine) SinglePairR(u, v uint32, R int) float64 {
+func (e *Snapshot) SinglePairR(u, v uint32, R int) float64 {
 	s := e.getScratch()
 	defer e.putScratch(s)
 	s.rng.Seed(e.pairSeed(u, v))
@@ -26,7 +38,7 @@ func (e *Engine) SinglePairR(u, v uint32, R int) float64 {
 // advance in lockstep; at every step t each coinciding position w adds
 // cᵗ·D_ww·α·β/R² to the estimate, where α and β count the walks of each
 // side at w.
-func (e *Engine) singlePairR(u, v uint32, R int, r *rng.Source, s *scratch) float64 {
+func (e *Snapshot) singlePairR(u, v uint32, R int, r *rng.Source, s *scratch) float64 {
 	upos := s.walkBuf(R)
 	vpos := s.walkBuf2(R)
 	resetWalks(upos, u)
@@ -78,7 +90,7 @@ func (e *Engine) singlePairR(u, v uint32, R int, r *rng.Source, s *scratch) floa
 // looked up once per distinct position (binary search in wd's sorted
 // support), so the step cost is O(R + distinct·log support) with zero
 // allocations.
-func (e *Engine) singlePairOneSided(s *scratch, wd *walkDist, v uint32, R int, r *rng.Source) float64 {
+func (e *Snapshot) singlePairOneSided(s *scratch, wd *walkDist, v uint32, R int, r *rng.Source) float64 {
 	vpos := s.walkBuf2(R)
 	resetWalks(vpos, v)
 	sigma := 0.0
@@ -115,7 +127,7 @@ func (e *Engine) singlePairOneSided(s *scratch, wd *walkDist, v uint32, R int, r
 // Algorithm 1 against each target with R walk pairs. Each target's walks
 // are seeded from the (u, v) pair, keeping estimates independent across
 // targets and stable under reordering.
-func (e *Engine) SingleSourceMC(u uint32, targets []uint32, R int) []float64 {
+func (e *Snapshot) SingleSourceMC(u uint32, targets []uint32, R int) []float64 {
 	out := make([]float64, len(targets))
 	s := e.getScratch()
 	defer e.putScratch(s)

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Snapshot is the immutable query state of one engine: the graph, the γ
+// table of Algorithm 3, and the bipartite candidate index of Algorithm 4.
+// A Snapshot answers every query mode (TopK, Threshold, SinglePair,
+// AllTopK, SimilarityJoin) without mutating itself, so any number of
+// goroutines may share one Snapshot with no coordination at all — the
+// only shared mutable state is the internal scratch pool, which is a
+// sync.Pool plus two balance counters.
+//
+// A Snapshot is produced by an Engine (the builder): Build/Preprocess
+// fill the preprocess artifacts, and Seal marks them final. Sealing is
+// the publication point — DynamicEngine hands sealed snapshots to
+// readers through an atomic.Pointer, and a sealed snapshot must never be
+// preprocessed again (Preprocess panics).
+type Snapshot struct {
+	g *graph.Graph
+	p Params
+
+	// gamma[v*T + t] = γ(v, t) from Algorithm 3 (L2 bound), row-major.
+	gamma []float32
+
+	// idx is the bipartite candidate index H from Algorithm 4:
+	// idx lists each left vertex's right-neighbours; inv is the
+	// inverted (right -> left) direction used for candidate joins.
+	idx *candidateIndex
+
+	// pool recycles query/preprocess scratch buffers (see scratch.go).
+	// poolGets/poolPuts count acquire/release round trips; they must be
+	// equal whenever no query is in flight (the cancellation tests assert
+	// this, and a drift indicates a leaked scratch on some return path).
+	pool     sync.Pool
+	poolGets atomic.Int64
+	poolPuts atomic.Int64
+
+	// sealed marks the snapshot as published read-only state.
+	sealed bool
+
+	stats PreprocessStats
+}
+
+// PreprocessStats records the cost of each preprocess component.
+type PreprocessStats struct {
+	GammaTime time.Duration
+	IndexTime time.Duration
+	// IndexBytes approximates the memory footprint of the preprocess
+	// results (γ table + candidate index).
+	IndexBytes int64
+}
+
+func newSnapshot(g *graph.Graph, p Params) *Snapshot {
+	sn := &Snapshot{g: g, p: p.normalized()}
+	n := g.N()
+	sn.pool.New = func() any { return newScratch(n) }
+	return sn
+}
+
+// Graph returns the snapshot's graph.
+func (e *Snapshot) Graph() *graph.Graph { return e.g }
+
+// Params returns the snapshot's normalized parameters.
+func (e *Snapshot) Params() Params { return e.p }
+
+// Stats returns preprocess cost statistics.
+func (e *Snapshot) Stats() PreprocessStats { return e.stats }
+
+// Sealed reports whether the snapshot has been sealed for publication.
+func (e *Snapshot) Sealed() bool { return e.sealed }
+
+// PoolBalance reports the scratch-pool acquire/release counters; they are
+// equal whenever no query is in flight. Exposed for tests and leak
+// diagnostics.
+func (e *Snapshot) PoolBalance() (gets, puts int64) {
+	return e.poolGets.Load(), e.poolPuts.Load()
+}

@@ -6,14 +6,19 @@
 //	GET /pair?u=42&v=99          -> {"u":42,"v":99,"score":0.018}
 //	GET /similar?u=42&theta=0.05 -> same shape as /topk
 //	GET /stats                   -> graph and index statistics
-//	GET /healthz                 -> 200 ok
+//	GET /healthz                 -> 200 ok (process is up)
+//	GET /readyz                  -> 200 ok (index built, queries served)
 //
-// The handler is safe for concurrent requests; the underlying index is
-// immutable after construction.
+// The handler is safe for concurrent requests; the underlying index is an
+// immutable snapshot. Every query runs under the request context (plus
+// QueryTimeout, when set), so client disconnects and deadlines cancel the
+// walk computation between candidate-scoring blocks.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -28,6 +33,9 @@ type Handler struct {
 	mux *http.ServeMux
 	// MaxK caps the k parameter to keep responses bounded (default 1000).
 	MaxK int
+	// QueryTimeout bounds each query's computation (0 = no limit beyond
+	// the request context).
+	QueryTimeout time.Duration
 }
 
 // New returns a ready-to-mount handler.
@@ -40,8 +48,32 @@ func New(idx *simrank.Index) *Handler {
 	mux.HandleFunc("/join", h.handleJoin)
 	mux.HandleFunc("/stats", h.handleStats)
 	mux.HandleFunc("/healthz", h.handleHealth)
+	mux.HandleFunc("/readyz", h.handleHealth)
 	h.mux = mux
 	return h
+}
+
+// queryCtx derives the context queries run under: the request context
+// (cancelled when the client disconnects) bounded by QueryTimeout.
+func (h *Handler) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if h.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), h.QueryTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeQueryError maps a query error to an HTTP status: context errors
+// become 503 (the query was cut short, not malformed), everything else is
+// a client error.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "query timed out")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "query cancelled")
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -106,12 +138,14 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wantStats := r.URL.Query().Get("stats") == "1"
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
 	start := time.Now()
 	resp := TopKResponse{Query: u}
 	if wantStats {
-		res, st, err := h.idx.TopKWithStats(u, k)
+		res, st, err := h.idx.TopKWithStatsCtx(ctx, u, k)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeQueryError(w, err)
 			return
 		}
 		resp.Results = toJSON(res)
@@ -122,9 +156,9 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 			Refined:       st.Refined,
 		}
 	} else {
-		res, err := h.idx.TopK(u, k)
+		res, err := h.idx.TopKCtx(ctx, u, k)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeQueryError(w, err)
 			return
 		}
 		resp.Results = toJSON(res)
@@ -142,9 +176,11 @@ func (h *Handler) handlePair(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	score, err := h.idx.SinglePair(u, v)
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	score, err := h.idx.SinglePairCtx(ctx, u, v)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PairResponse{U: u, V: v, Score: score})
@@ -164,10 +200,12 @@ func (h *Handler) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		}
 		theta = f
 	}
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
 	start := time.Now()
-	res, err := h.idx.Similar(u, theta)
+	res, err := h.idx.SimilarCtx(ctx, u, theta)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, TopKResponse{
@@ -211,8 +249,14 @@ func (h *Handler) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("max must be in [1, %d]", h.MaxK))
 		return
 	}
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
 	start := time.Now()
-	pairs := h.idx.SimilarityJoin(theta, max)
+	pairs, err := h.idx.SimilarityJoinCtx(ctx, theta, max)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
 	out := make([]JoinPairJSON, len(pairs))
 	for i, p := range pairs {
 		out[i] = JoinPairJSON{U: p.U, V: p.V, Score: p.Score}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	simrank "repro"
 )
@@ -188,6 +190,57 @@ func TestStatsAndHealth(t *testing.T) {
 	rec, _ = get(t, h, "/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatal("health check failed")
+	}
+	rec, _ = get(t, h, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatal("readiness check failed")
+	}
+}
+
+func TestRequestContextCancellation(t *testing.T) {
+	h := testHandler(t)
+	// A request whose context is already cancelled must be rejected with
+	// 503 (the query was cut short), not 400 (malformed) or 200.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, url := range []string{"/topk?u=0&k=5", "/pair?u=1&v=2", "/similar?u=0&theta=0.05", "/join?theta=0.05&max=10"} {
+		req := httptest.NewRequest(http.MethodGet, url, nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s with cancelled context: status %d, want 503 (%s)", url, rec.Code, rec.Body.String())
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Fatalf("%s: bad error payload %s", url, rec.Body.String())
+		}
+	}
+	// Health and readiness ignore the query machinery entirely.
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz with cancelled context: status %d", rec.Code)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	h := testHandler(t)
+	// An expired deadline surfaces as a timeout 503. QueryTimeout so small
+	// the deadline has passed before the search's first context check.
+	h.QueryTimeout = time.Nanosecond
+	rec, body := get(t, h, "/topk?u=0&k=5")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%s)", rec.Code, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error != "query timed out" {
+		t.Fatalf("error payload %s", body)
+	}
+	// A generous timeout changes nothing.
+	h.QueryTimeout = time.Minute
+	if rec, body := get(t, h, "/topk?u=0&k=5"); rec.Code != http.StatusOK {
+		t.Fatalf("status %d with generous timeout (%s)", rec.Code, body)
 	}
 }
 

@@ -1,6 +1,7 @@
 package simrank
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -83,11 +84,16 @@ type Result struct {
 	Score float64
 }
 
-// Index is a preprocessed similarity-search index over one graph. It is
-// safe for concurrent queries.
+// Index is a preprocessed similarity-search index over one graph. The
+// underlying state is an immutable snapshot sealed at build time, so any
+// number of goroutines may query one Index concurrently with no locking.
+//
+// Every query has a context-aware *Ctx variant that observes
+// cancellation and deadlines between candidate-scoring blocks; the plain
+// methods are wrappers over context.Background().
 type Index struct {
 	g *Graph
-	e *core.Engine
+	e *core.Snapshot
 }
 
 // IndexStats reports preprocess cost.
@@ -99,7 +105,7 @@ type IndexStats struct {
 // BuildIndex runs the O(n) preprocess (γ table + candidate index) and
 // returns a query-ready index.
 func BuildIndex(g *Graph, opts Options) *Index {
-	return &Index{g: g, e: core.Build(g.g, opts.toParams())}
+	return &Index{g: g, e: core.Build(g.g, opts.toParams()).Seal()}
 }
 
 // Stats returns preprocess cost statistics.
@@ -117,10 +123,22 @@ func (ix *Index) Graph() *Graph { return ix.g }
 // TopK returns the k vertices most similar to u, best first. Fewer than
 // k results are returned when fewer candidates clear the threshold.
 func (ix *Index) TopK(u, k int) ([]Result, error) {
+	return ix.TopKCtx(context.Background(), u, k)
+}
+
+// TopKCtx is TopK with cancellation: the query checks ctx between
+// candidate-scoring blocks and returns ctx.Err() promptly once it is
+// cancelled or past its deadline. Results for an uncancelled context are
+// byte-identical to TopK.
+func (ix *Index) TopKCtx(ctx context.Context, u, k int) ([]Result, error) {
 	if err := ix.g.checkVertex(u); err != nil {
 		return nil, err
 	}
-	return toResults(ix.e.TopK(uint32(u), k)), nil
+	res, err := ix.e.TopKCtx(ctx, uint32(u), k)
+	if err != nil {
+		return nil, err
+	}
+	return toResults(res), nil
 }
 
 // QueryStats reports what the pruning machinery did during one query.
@@ -138,10 +156,18 @@ type QueryStats struct {
 // TopKWithStats is TopK plus pruning statistics, for tuning and
 // observability.
 func (ix *Index) TopKWithStats(u, k int) ([]Result, QueryStats, error) {
+	return ix.TopKWithStatsCtx(context.Background(), u, k)
+}
+
+// TopKWithStatsCtx is TopKWithStats with cancellation (see TopKCtx).
+func (ix *Index) TopKWithStatsCtx(ctx context.Context, u, k int) ([]Result, QueryStats, error) {
 	if err := ix.g.checkVertex(u); err != nil {
 		return nil, QueryStats{}, err
 	}
-	res, st := ix.e.TopKStats(uint32(u), k)
+	res, st, err := ix.e.TopKStatsCtx(ctx, uint32(u), k)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
 	return toResults(res), QueryStats{
 		Candidates:    st.Candidates,
 		PrunedByBound: st.PrunedByBound,
@@ -153,15 +179,30 @@ func (ix *Index) TopKWithStats(u, k int) ([]Result, QueryStats, error) {
 // Similar returns every vertex whose estimated SimRank score with u is at
 // least threshold, best first.
 func (ix *Index) Similar(u int, threshold float64) ([]Result, error) {
+	return ix.SimilarCtx(context.Background(), u, threshold)
+}
+
+// SimilarCtx is Similar with cancellation (see TopKCtx).
+func (ix *Index) SimilarCtx(ctx context.Context, u int, threshold float64) ([]Result, error) {
 	if err := ix.g.checkVertex(u); err != nil {
 		return nil, err
 	}
-	return toResults(ix.e.Threshold(uint32(u), threshold)), nil
+	res, err := ix.e.ThresholdCtx(ctx, uint32(u), threshold)
+	if err != nil {
+		return nil, err
+	}
+	return toResults(res), nil
 }
 
 // SinglePair estimates the (truncated) SimRank score between u and v by
 // Monte-Carlo simulation, in O(T·R) time independent of graph size.
 func (ix *Index) SinglePair(u, v int) (float64, error) {
+	return ix.SinglePairCtx(context.Background(), u, v)
+}
+
+// SinglePairCtx is SinglePair with cancellation, checked once on entry
+// (a single-pair estimate is one bounded unit of work).
+func (ix *Index) SinglePairCtx(ctx context.Context, u, v int) (float64, error) {
 	if err := ix.g.checkVertex(u); err != nil {
 		return 0, err
 	}
@@ -169,9 +210,12 @@ func (ix *Index) SinglePair(u, v int) (float64, error) {
 		return 0, err
 	}
 	if u == v {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		return 1, nil
 	}
-	return ix.e.SinglePair(uint32(u), uint32(v)), nil
+	return ix.e.SinglePairCtx(ctx, uint32(u), uint32(v))
 }
 
 // AllTopK runs the top-k search for every vertex in parallel and returns
@@ -196,12 +240,23 @@ type JoinPair struct {
 // output (0 = unlimited). This runs a threshold query per vertex in
 // parallel: expect all-pairs cost on large graphs.
 func (ix *Index) SimilarityJoin(threshold float64, maxPairs int) []JoinPair {
-	pairs := ix.e.SimilarityJoin(threshold, maxPairs)
+	out, _ := ix.SimilarityJoinCtx(context.Background(), threshold, maxPairs)
+	return out
+}
+
+// SimilarityJoinCtx is SimilarityJoin with cancellation: the per-vertex
+// threshold queries stop once ctx is cancelled and the call returns
+// ctx.Err() with no partial output.
+func (ix *Index) SimilarityJoinCtx(ctx context.Context, threshold float64, maxPairs int) ([]JoinPair, error) {
+	pairs, err := ix.e.SimilarityJoinCtx(ctx, threshold, maxPairs)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]JoinPair, len(pairs))
 	for i, p := range pairs {
 		out[i] = JoinPair{U: int(p.U), V: int(p.V), Score: p.Score}
 	}
-	return out
+	return out, nil
 }
 
 func toResults(xs []core.Scored) []Result {
