@@ -35,10 +35,10 @@ lint:
 # Query hot-path microbenchmarks (the 100k-vertex engine build takes a
 # couple of minutes the first time).
 bench:
-	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|TopKDuringRefresh' -run - ./internal/core
+	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|TopKDuringRefresh|TopKZipfThroughput' -run - ./internal/core
 
 # Regenerate the committed benchmark snapshot.
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
-	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|TopKDuringRefresh' -run - ./internal/core | \
+	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|TopKDuringRefresh|TopKZipfThroughput' -run - ./internal/core | \
 		/tmp/benchjson -meta pkg=internal/core -o BENCH_core.json

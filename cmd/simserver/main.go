@@ -44,6 +44,7 @@ func main() {
 	c := flag.Float64("c", 0.6, "decay factor")
 	theta := flag.Float64("theta", 0.01, "score threshold")
 	seed := flag.Uint64("seed", 1, "Monte-Carlo seed")
+	cacheBytes := flag.Int64("cache-bytes", 0, "cross-query tally cache budget in bytes (0 = disabled); results are identical either way")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query computation deadline (0 = unlimited)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 	opts.DecayFactor = *c
 	opts.Threshold = *theta
 	opts.Seed = *seed
+	opts.CacheBytes = *cacheBytes
 
 	// The query handler is swapped in atomically once the index is ready;
 	// until then the bootstrap handler answers /healthz (process is up)

@@ -101,6 +101,35 @@ func (dx *DynamicIndex) TopKCtx(ctx context.Context, u, k int) ([]Result, error)
 	return toResults(res), nil
 }
 
+// TopKBatchCtx answers a slice of top-k queries against one consistent
+// snapshot: every query in the batch observes the same graph state, and
+// all of them share that snapshot's tally cache.
+func (dx *DynamicIndex) TopKBatchCtx(ctx context.Context, us []int, k int) ([][]Result, error) {
+	qs := make([]uint32, len(us))
+	for i, u := range us {
+		if u < 0 || u >= dx.d.N() {
+			return nil, errVertexRange(u, dx.d.N())
+		}
+		qs[i] = uint32(u)
+	}
+	res, _, err := dx.d.TopKBatchCtx(ctx, qs, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(res))
+	for i, r := range res {
+		out[i] = toResults(r)
+	}
+	return out, nil
+}
+
+// CacheStats reports the current snapshot's tally-cache counters (zero
+// when the cache is disabled or no snapshot exists yet). Counters reset
+// at each refresh; entries untouched by the applied updates carry over.
+func (dx *DynamicIndex) CacheStats() CacheStats {
+	return toCacheStats(dx.d.CacheStats())
+}
+
 // SinglePair estimates the SimRank score between u and v from the
 // current snapshot (see the consistency contract on DynamicIndex).
 func (dx *DynamicIndex) SinglePair(u, v int) (float64, error) {

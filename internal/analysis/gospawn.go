@@ -22,10 +22,10 @@ var GoSpawn = &Analyzer{
 // goSpawnAllow names the approved worker-pool functions: each spawns at
 // most Params.Workers goroutines from a plain counted loop.
 var goSpawnAllow = map[string]bool{
-	"forEachVertexParallel": true, // allpairs.go: atomic-cursor vertex pool
-	"parallelVertices":      true, // engine.go: contiguous block shards
-	"scoreBlockParallel":    true, // query.go: per-block candidate scoring
-	"startRefresher":        true, // dynamic.go: the single background snapshot builder
+	"forEachIndexParallel": true, // allpairs.go: atomic-cursor work-item pool (AllTopK, TopKBatch, joins)
+	"parallelVertices":     true, // engine.go: contiguous block shards
+	"scoreBlockParallel":   true, // query.go: per-block candidate scoring
+	"startRefresher":       true, // dynamic.go: the single background snapshot builder
 }
 
 func runGoSpawn(pass *Pass) error {
@@ -55,7 +55,7 @@ func runGoSpawn(pass *Pass) error {
 					switch {
 					case !goSpawnAllow[name]:
 						pass.Reportf(n.Pos(),
-							"go statement outside the approved worker pools (%s); route the work through parallelVertices or forEachVertexParallel",
+							"go statement outside the approved worker pools (%s); route the work through parallelVertices or forEachIndexParallel",
 							name)
 					case rangeDepth > 0:
 						pass.Reportf(n.Pos(),

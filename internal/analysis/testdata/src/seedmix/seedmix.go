@@ -31,6 +31,12 @@ func (e *engine) okSingleID(u uint32) *rng.Source {
 	return rng.New(e.seed ^ (0x9e3779b97f4a7c15 * uint64(u+1)))
 }
 
+// okSingleIDSalted is the per-vertex candidate-stream shape: a phase salt
+// plus one mixed id stays injective, so no diagnostic.
+func (e *engine) okSingleIDSalted(v uint32) {
+	e.rng.Seed(e.seed ^ 0xa54ff53a5f1d36f1 ^ rng.Mix(uint64(v)))
+}
+
 // viaLocal is the same bug hidden behind a local variable.
 func (e *engine) viaLocal(u, v uint32) {
 	seed := uint64(u) ^ uint64(v)<<1

@@ -20,10 +20,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 )
@@ -48,11 +46,11 @@ type Job struct {
 // Results are written in ascending vertex order regardless of the
 // parallel execution order, so output files are deterministic.
 //
-// Parallelism comes from running Params.Workers whole queries at once
-// (each query scores its candidates sequentially — the workers are already
-// saturated across vertices), which is the efficient arrangement for
-// throughput-bound batch work; per-query scoring parallelism only helps
-// latency-bound interactive queries.
+// Parallelism comes from TopKBatch running Params.Workers whole queries
+// at once (each query scores its candidates sequentially — the workers
+// are already saturated across vertices), which is the efficient
+// arrangement for throughput-bound batch work; per-query scoring
+// parallelism only helps latency-bound interactive queries.
 func Run(job Job, w io.Writer) (processed int, err error) {
 	if job.Engine == nil {
 		return 0, fmt.Errorf("batch: nil engine")
@@ -75,40 +73,24 @@ func Run(job Job, w io.Writer) (processed int, err error) {
 		todo = append(todo, uint32(v))
 	}
 
-	results := make(map[uint32][]core.Scored, len(todo))
-	var mu sync.Mutex
-	count := 0
-	job.Engine.AllTopKFunc(job.K, func(u uint32, res []core.Scored) {
-		// AllTopKFunc visits every vertex; filter to this job's set.
-		if job.NumShards > 1 && int(u)%job.NumShards != job.Shard {
-			return
-		}
-		if job.Done[u] {
-			return
-		}
-		mu.Lock()
-		results[u] = res
-		count++
-		if job.Progress != nil && count%1024 == 0 {
-			job.Progress(count, len(todo))
-		}
-		mu.Unlock()
-	})
-	if job.Progress != nil {
-		job.Progress(count, len(todo))
-	}
-
+	// Each chunk is one TopKBatch call: the job computes exactly its own
+	// vertices (a shard of M machines does n/M queries, not n filtered),
+	// results stream out between chunks, and every query in the run shares
+	// the snapshot's tally cache.
 	bw := bufio.NewWriter(w)
-	order := make([]uint32, 0, len(results))
-	for u := range results {
-		order = append(order, u)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	for _, u := range order {
-		if err := writeLine(bw, u, results[u]); err != nil {
-			return processed, err
+	const chunk = 1024
+	for lo := 0; lo < len(todo); lo += chunk {
+		hi := min(lo+chunk, len(todo))
+		res, _ := job.Engine.TopKBatch(todo[lo:hi], job.K)
+		for i, r := range res {
+			if err := writeLine(bw, todo[lo+i], r); err != nil {
+				return processed, err
+			}
+			processed++
 		}
-		processed++
+		if job.Progress != nil {
+			job.Progress(processed, len(todo))
+		}
 	}
 	return processed, bw.Flush()
 }

@@ -41,25 +41,34 @@ func (e *Snapshot) AllTopKFunc(k int, fn func(u uint32, res []Scored)) {
 	})
 }
 
-// forEachVertexParallel runs fn for every vertex using a shared atomic
-// cursor, which balances skewed per-query costs better than striding.
-// Cancellation is observed between vertices: a worker that sees a
-// cancelled ctx stops claiming new vertices, and the call reports
-// ctx.Err() after every worker has drained.
+// forEachVertexParallel runs fn for every vertex through the shared
+// atomic-cursor pool of forEachIndexParallel.
 func (e *Snapshot) forEachVertexParallel(ctx context.Context, fn func(u uint32)) error {
-	n := e.g.N()
+	return e.forEachIndexParallel(ctx, e.g.N(), func(i int) { fn(uint32(i)) })
+}
+
+// forEachIndexParallel runs fn for every index in [0, n) using a shared
+// atomic cursor, which balances skewed per-item costs better than
+// striding. At most Params.Workers goroutines run; cancellation is
+// observed between items: a worker that sees a cancelled ctx stops
+// claiming new indices, and the call reports ctx.Err() after every
+// worker has drained. This is the one work-item fan-out of the query
+// side — AllTopK, SimilarityJoin, and TopKBatch all route through it.
+func (e *Snapshot) forEachIndexParallel(ctx context.Context, n int, fn func(i int)) error {
 	workers := e.p.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		for u := 0; u < n; u++ {
+		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(uint32(u))
+			fn(i)
 		}
-		return nil
+		// A cancellation during the last item must still be reported:
+		// fn may have cut that item short.
+		return ctx.Err()
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -68,11 +77,11 @@ func (e *Snapshot) forEachVertexParallel(ctx context.Context, fn func(u uint32))
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
-				u := cursor.Add(1) - 1
-				if u >= int64(n) {
+				i := cursor.Add(1) - 1
+				if i >= int64(n) {
 					return
 				}
-				fn(uint32(u))
+				fn(int(i))
 			}
 		}()
 	}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// dropCache zeroes the cache counters of a QueryStats so the remaining
+// fields can be compared between cache-on and cache-off runs (the cache
+// changes which work is redone, never what the query computes).
+func dropCache(st QueryStats) QueryStats {
+	st.CacheHits, st.CacheMisses, st.CacheEvictions = 0, 0, 0
+	return st
+}
+
+func sameResults(t *testing.T, label string, got, want []Scored) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// The cache must be invisible in the output: for every query, results are
+// byte-identical with the cache on or off, for any worker count, on both
+// cold and warm passes. With an ample budget (no eviction) the full
+// per-query stats — cache counters included — are deterministic too.
+func TestCacheByteIdenticalTopK(t *testing.T) {
+	g := graph.CopyingModel(3000, 6, 0.3, 11)
+	build := func(cacheBytes int64, workers int) *Engine {
+		p := DefaultParams()
+		p.Seed = 17
+		p.Workers = workers
+		p.Strategy = CandidatesHybrid // wide candidate sets exercise the tally path
+		p.CacheBytes = cacheBytes
+		return Build(g, p)
+	}
+	queries := []uint32{0, 17, 999, 1500, 2999}
+
+	off := build(0, 1)
+	type ref struct {
+		res   []Scored
+		stats QueryStats
+	}
+	want := make([]ref, len(queries))
+	for i, u := range queries {
+		res, st := off.TopKStats(u, 20)
+		want[i] = ref{res, st}
+	}
+
+	var warmStats []QueryStats // cache counters of workers=1, compared across worker counts
+	for _, workers := range []int{1, 2, 8} {
+		on := build(1<<30, workers)
+		for pass := 0; pass < 2; pass++ {
+			anyHits := false
+			for i, u := range queries {
+				res, st := on.TopKStats(u, 20)
+				label := "workers=" + itoa(workers) + " pass=" + itoa(pass) + " u=" + itoa(int(u))
+				sameResults(t, label, res, want[i].res)
+				if dropCache(st) != want[i].stats {
+					t.Fatalf("%s: stats %+v, want %+v", label, dropCache(st), want[i].stats)
+				}
+				if st.CacheEvictions != 0 {
+					t.Fatalf("%s: evictions under an ample budget: %+v", label, st)
+				}
+				if pass == 1 {
+					anyHits = anyHits || st.CacheHits > 0
+					if workers == 1 {
+						warmStats = append(warmStats, st)
+					}
+				}
+			}
+			if pass == 1 && !anyHits {
+				t.Fatalf("workers=%d: warm pass recorded no cache hits", workers)
+			}
+		}
+		if cs := on.CacheStats(); cs.Hits == 0 || cs.Entries == 0 || cs.BytesInUse <= 0 {
+			t.Fatalf("workers=%d: implausible cache stats %+v", workers, cs)
+		} else if cs.BytesInUse > cs.BudgetBytes {
+			t.Fatalf("workers=%d: bytes in use %d exceed budget %d", workers, cs.BytesInUse, cs.BudgetBytes)
+		}
+	}
+
+	// Under an ample budget the warm-pass cache counters are themselves
+	// deterministic across worker counts (no eviction → no recompute
+	// races): re-run workers=8 warm queries and compare to workers=1.
+	on := build(1<<30, 8)
+	for _, u := range queries {
+		on.TopKStats(u, 20) // cold pass
+	}
+	for i, u := range queries {
+		_, st := on.TopKStats(u, 20)
+		if st != warmStats[i] {
+			t.Fatalf("u=%d: warm stats %+v (workers=8), want %+v (workers=1)", u, st, warmStats[i])
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Hammering a tiny cache must keep it inside its byte budget, actually
+// evict, and still answer byte-identically to an uncached engine.
+func TestCacheEvictionRespectsBudget(t *testing.T) {
+	g := graph.CopyingModel(2000, 6, 0.3, 5)
+	p := DefaultParams()
+	p.Seed = 3
+	p.Workers = 2
+	p.Strategy = CandidatesHybrid
+	off := Build(g, p)
+	p.CacheBytes = 32 << 10 // a handful of entries at most
+	on := Build(g, p)
+
+	// A skewed query stream: hot head plus a moving tail, so entries are
+	// both re-hit and displaced.
+	queries := make([]uint32, 0, 120)
+	for i := 0; i < 40; i++ {
+		queries = append(queries, uint32(i%5))          // hot head
+		queries = append(queries, uint32(50+i*17)%2000) // cold tail
+		queries = append(queries, uint32(i))
+	}
+	for _, u := range queries {
+		wantRes, wantSt := off.TopKStats(u, 10)
+		gotRes, gotSt := on.TopKStats(u, 10)
+		sameResults(t, "u="+itoa(int(u)), gotRes, wantRes)
+		if dropCache(gotSt) != wantSt {
+			t.Fatalf("u=%d: stats %+v, want %+v", u, dropCache(gotSt), wantSt)
+		}
+		if cs := on.CacheStats(); cs.BytesInUse > cs.BudgetBytes {
+			t.Fatalf("u=%d: bytes in use %d exceed budget %d", u, cs.BytesInUse, cs.BudgetBytes)
+		}
+	}
+	cs := on.CacheStats()
+	if cs.Evictions == 0 {
+		t.Fatalf("tiny budget never evicted: %+v", cs)
+	}
+	if cs.Entries == 0 || cs.BytesInUse <= 0 || cs.BytesInUse > cs.BudgetBytes {
+		t.Fatalf("implausible post-hammer cache stats %+v", cs)
+	}
+}
+
+// Queries through the cache while the dynamic engine rebuilds snapshots
+// concurrently: no races (run under -race), no scratch leaks on any
+// snapshot a query touched, and the final state answers exactly like a
+// freshly built engine over the same edges.
+func TestCacheDuringDynamicRefresh(t *testing.T) {
+	const n = 400
+	g := graph.CopyingModel(n, 4, 0.3, 9)
+	p := DefaultParams()
+	p.Seed = 5
+	p.Workers = 2
+	p.CacheBytes = 1 << 22
+	d := NewDynamicFrom(g, p)
+	defer d.Close()
+	if err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	touched := map[*Snapshot]struct{}{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u := uint32(w)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sn, err := d.Snapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				touched[sn] = struct{}{}
+				mu.Unlock()
+				sn.TopKStats(u%n, 10)
+				u += 7
+			}
+		}(w)
+	}
+	for i := 0; i < 25; i++ {
+		a := uint32((i * 31) % n)
+		b := uint32((i*13 + 1) % n)
+		if a == b {
+			b = (b + 1) % n
+		}
+		if err := d.AddEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	for sn := range touched {
+		if gets, puts := sn.PoolBalance(); gets != puts {
+			t.Fatalf("scratch leak on a queried snapshot: %d gets vs %d puts", gets, puts)
+		}
+	}
+
+	// The settled dynamic engine matches a cold cache-off engine built on
+	// the same final edge set.
+	final, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []graph.Edge
+	final.Graph().Edges(func(u, v uint32) bool {
+		edges = append(edges, graph.Edge{U: u, V: v})
+		return true
+	})
+	pp := p
+	pp.CacheBytes = 0
+	ref := Build(graph.FromEdges(n, edges), pp)
+	for _, u := range []uint32{0, 7, 99, 200, 399} {
+		want, wantSt := ref.TopKStats(u, 10)
+		got, gotSt := final.TopKStats(u, 10)
+		sameResults(t, "settled u="+itoa(int(u)), got, want)
+		if dropCache(gotSt) != wantSt {
+			t.Fatalf("settled u=%d: stats %+v, want %+v", u, dropCache(gotSt), wantSt)
+		}
+	}
+}
+
+// An incremental refresh must carry cached tallies forward for vertices
+// untouched by the delta — and the carried entries must still produce
+// byte-identical answers on the updated graph.
+func TestCacheCarryForwardAcrossIncrementalRefresh(t *testing.T) {
+	const n = 1500
+	g := graph.CopyingModel(n, 5, 0.3, 21)
+	p := DefaultParams()
+	p.Seed = 11
+	p.Workers = 2
+	p.Strategy = CandidatesHybrid
+	p.CacheBytes = 1 << 26
+	d := NewDynamicFrom(g, p)
+	defer d.Close()
+	if err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := uint32(0); u < 30; u++ {
+		warm.TopKStats(u, 10)
+	}
+	if cs := warm.CacheStats(); cs.Entries == 0 {
+		t.Fatalf("warmup populated nothing: %+v", cs)
+	}
+
+	// One new edge: the affected set is a T-step out-neighbourhood, tiny
+	// compared to the graph, so the refresh is incremental and most of
+	// the cache survives.
+	if err := d.AddEdge(1200, 7); err != nil {
+		t.Fatal(err)
+	}
+	incBefore, fullBefore := d.Refreshes()
+	if err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	incAfter, fullAfter := d.Refreshes()
+	if incAfter != incBefore+1 || fullAfter != fullBefore {
+		t.Fatalf("expected one incremental refresh, got inc %d->%d full %d->%d",
+			incBefore, incAfter, fullBefore, fullAfter)
+	}
+
+	next, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == warm {
+		t.Fatal("refresh did not publish a new snapshot")
+	}
+	carried := next.CacheStats()
+	if carried.Entries == 0 {
+		t.Fatalf("no entries carried forward: %+v", carried)
+	}
+	if carried.BytesInUse > carried.BudgetBytes {
+		t.Fatalf("carried bytes %d exceed budget %d", carried.BytesInUse, carried.BudgetBytes)
+	}
+
+	// Queries on the updated graph — served partly from carried entries —
+	// must match a cold cache-off engine built on the updated edge set.
+	var edges []graph.Edge
+	next.Graph().Edges(func(u, v uint32) bool {
+		edges = append(edges, graph.Edge{U: u, V: v})
+		return true
+	})
+	pp := p
+	pp.CacheBytes = 0
+	ref := Build(graph.FromEdges(n, edges), pp)
+	for u := uint32(0); u < 30; u++ {
+		want, wantSt := ref.TopKStats(u, 10)
+		got, gotSt := next.TopKStats(u, 10)
+		sameResults(t, "post-carry u="+itoa(int(u)), got, want)
+		if dropCache(gotSt) != wantSt {
+			t.Fatalf("post-carry u=%d: stats %+v, want %+v", u, dropCache(gotSt), wantSt)
+		}
+	}
+}
+
+// TopKBatch must agree with issuing the same queries one at a time:
+// identical results, identical stats up to cache attribution (concurrent
+// queries may race on who records a shared candidate's miss).
+func TestTopKBatchMatchesSequential(t *testing.T) {
+	g := graph.CopyingModel(2000, 6, 0.3, 13)
+	p := DefaultParams()
+	p.Seed = 23
+	p.Workers = 4
+	p.Strategy = CandidatesHybrid
+	p.CacheBytes = 1 << 26
+	e := Build(g, p)
+
+	us := []uint32{5, 42, 42, 300, 1999, 5, 777}
+	res, sts := e.TopKBatch(us, 15)
+	if len(res) != len(us) || len(sts) != len(us) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(res), len(sts), len(us))
+	}
+	for i, u := range us {
+		want, wantSt := e.TopKStats(u, 15)
+		sameResults(t, "batch u="+itoa(int(u)), res[i], want)
+		if dropCache(sts[i]) != dropCache(wantSt) {
+			t.Fatalf("batch u=%d: stats %+v, want %+v", u, dropCache(sts[i]), dropCache(wantSt))
+		}
+	}
+
+	// Cancellation discards partials.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r, s, err := e.TopKBatchCtx(ctx, us, 15); err == nil || r != nil || s != nil {
+		t.Fatalf("cancelled batch returned (%v, %v, %v), want nils and an error", r, s, err)
+	}
+}

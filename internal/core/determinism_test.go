@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/rng"
 )
 
 // The parallel candidate-scoring path must be invisible in the output:
@@ -95,12 +97,48 @@ func TestPairSeedDistinctStreams(t *testing.T) {
 		}
 		seeds[s] = p
 	}
-	// candSeed streams must be disjoint from pairSeed streams for the same
-	// pair (distinct phase salts).
-	for _, p := range pairs {
-		if e.pairSeed(p.u, p.v) == e.candSeed(p.u, p.v) {
-			t.Fatalf("pairSeed and candSeed coincide for (%d,%d)", p.u, p.v)
+}
+
+// candSeed is per vertex (the cacheable candidate-stream seed): distinct
+// vertices must get distinct streams, and the stream of any vertex must
+// be disjoint from every preprocess phase (phase salts) and from every
+// pairSeed stream — a collision would correlate a candidate's cached
+// tally with an unrelated walk computation.
+func TestCandSeedPerVertexDisjoint(t *testing.T) {
+	e := New(graph.Cycle(16), DefaultParams())
+	seeds := map[uint64]string{}
+	record := func(s uint64, what string) {
+		if prev, ok := seeds[s]; ok {
+			t.Fatalf("seed collision: %s and %s -> %#x", prev, what, s)
 		}
+		seeds[s] = what
+	}
+	for v := uint32(0); v < 16; v++ {
+		record(e.candSeed(v), fmt.Sprintf("candSeed(%d)", v))
+	}
+	// Phase-salt disjointness: the scoring stream of v must not collide
+	// with v's gamma or index preprocess streams.
+	for v := uint32(0); v < 16; v++ {
+		record(e.vertexSeed(saltGamma, v), fmt.Sprintf("vertexSeed(gamma,%d)", v))
+		record(e.vertexSeed(saltIndex, v), fmt.Sprintf("vertexSeed(index,%d)", v))
+	}
+	// And pairSeed streams stay disjoint from every candidate stream.
+	for u := uint32(0); u < 8; u++ {
+		for v := uint32(0); v < 8; v++ {
+			record(e.pairSeed(u, v), fmt.Sprintf("pairSeed(%d,%d)", u, v))
+		}
+	}
+}
+
+// candSeed must not depend on the query vertex: the same candidate's
+// walk stream — and therefore its cached tally — serves every query.
+func TestCandSeedQueryIndependent(t *testing.T) {
+	p := DefaultParams()
+	p.Seed = 99
+	e := New(graph.Cycle(8), p)
+	want := e.p.Seed ^ saltScore ^ rng.Mix(uint64(5))
+	if got := e.candSeed(5); got != want {
+		t.Fatalf("candSeed(5) = %#x, want seed^saltScore^Mix(v) = %#x", got, want)
 	}
 }
 

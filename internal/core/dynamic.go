@@ -212,6 +212,28 @@ func (d *DynamicEngine) TopKCtx(ctx context.Context, u uint32, k int) ([]Scored,
 	return s.TopKCtx(ctx, u, k)
 }
 
+// TopKBatchCtx answers a slice of top-k queries against one consistent
+// snapshot (every query in the batch sees the same graph state), sharing
+// its tally cache across the batch.
+func (d *DynamicEngine) TopKBatchCtx(ctx context.Context, us []uint32, k int) ([][]Scored, []QueryStats, error) {
+	s, err := d.snapshot(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.TopKBatchCtx(ctx, us, k)
+}
+
+// CacheStats reports the current snapshot's tally-cache counters (zero
+// when no snapshot is published yet or the cache is disabled). Counters
+// reset when a refresh publishes a new snapshot; carried-forward entries
+// keep their contents but not their hit history.
+func (d *DynamicEngine) CacheStats() CacheStats {
+	if s := d.snap.Load(); s != nil {
+		return s.CacheStats()
+	}
+	return CacheStats{}
+}
+
 // SinglePair estimates s⁽ᵀ⁾(u, v) against the current snapshot.
 func (d *DynamicEngine) SinglePair(u, v uint32) (float64, error) {
 	return d.SinglePairCtx(context.Background(), u, v)
@@ -336,6 +358,17 @@ func (d *DynamicEngine) buildSnapshot(old *Snapshot, g *graph.Graph, dirty map[u
 	ne.idx = idx
 	ne.stats = old.stats
 	ne.stats.IndexBytes = int64(len(ne.gamma))*4 + idx.bytes()
+	if old.cache != nil && ne.cache != nil {
+		// A cached tally depends only on the candidate's T-step walk
+		// neighbourhood, and `affected` is exactly the set of vertices
+		// whose walks could see the delta (on either graph) — every
+		// other entry is still byte-exact for the new snapshot, so the
+		// new cache starts warm with them.
+		ne.cache.carryForward(old.cache, func(v uint32) bool {
+			_, hit := affected[v]
+			return !hit
+		})
+	}
 	return ne.Seal(), false
 }
 

@@ -94,11 +94,16 @@ func (e *Snapshot) pairSeed(u, v uint32) uint64 {
 	return e.p.Seed ^ rng.Mix(uint64(u)<<32|uint64(v))
 }
 
-// candSeed derives the per-candidate scoring seed for candidate v of a
-// query at u. Seeding per candidate (not per query) makes a candidate's
-// score independent of evaluation order — and hence of Params.Workers.
-func (e *Snapshot) candSeed(u, v uint32) uint64 {
-	return e.p.Seed ^ saltScore ^ rng.Mix(uint64(u)<<32|uint64(v))
+// candSeed derives the per-candidate scoring seed for candidate v.
+// Seeding per vertex (not per query or per (u,v) pair) makes the
+// candidate's walk stream — and therefore its step-t position tally — a
+// pure function of the snapshot, which is what lets the tally cache
+// (cache.go) share one simulation across every query that scores v. The
+// seed stays independent of evaluation order and Params.Workers, and
+// saltScore keeps the stream disjoint from the preprocess phases
+// (saltGamma, saltIndex) and from pairSeed's unsalted streams.
+func (e *Snapshot) candSeed(v uint32) uint64 {
+	return e.p.Seed ^ saltScore ^ rng.Mix(uint64(v))
 }
 
 // parallelVertices runs fn for every vertex, sharded over workers in

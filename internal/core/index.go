@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/rng"
 )
@@ -70,16 +70,8 @@ func (e *Engine) buildIndexEntry(u uint32, r *rng.Source, s *indexScratch) []uin
 	if len(set) == 0 {
 		return nil
 	}
-	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
-	dedup := set[:1]
-	for _, v := range set[1:] {
-		if v != dedup[len(dedup)-1] {
-			dedup = append(dedup, v)
-		}
-	}
-	out := make([]uint32, len(dedup))
-	copy(out, dedup)
-	return out
+	slices.Sort(set)
+	return slices.Clone(slices.Compact(set))
 }
 
 // hasCollision reports whether at least two of the walks coincide (alive)

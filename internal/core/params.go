@@ -98,6 +98,12 @@ type Params struct {
 	// (one entry per vertex). When nil the paper's approximation
 	// D = (1−c)·I is used.
 	D []float64
+	// CacheBytes bounds the cross-query candidate tally cache per
+	// snapshot (cache.go); 0 disables it. Because candidate walks are
+	// seeded per vertex, enabling the cache changes which work is
+	// re-done, never the results: query output is byte-identical with
+	// the cache on or off.
+	CacheBytes int64
 	// Seed makes every Monte-Carlo component deterministic.
 	Seed uint64
 	// Workers bounds preprocess and all-pairs parallelism.
@@ -138,6 +144,12 @@ func (p Params) normalized() Params {
 	}
 	if p.RRough <= 0 {
 		p.RRough = def.RRough
+	}
+	if p.RRough > p.RScore {
+		// The rough pass is served as a prefix of the refined walk
+		// stream (tally.go), so it can never use more walks than the
+		// refined estimate.
+		p.RRough = p.RScore
 	}
 	if p.RAlpha <= 0 {
 		p.RAlpha = def.RAlpha

@@ -19,6 +19,13 @@ type QueryStats struct {
 	PrunedByRough int
 	// Refined received the full RScore estimate.
 	Refined int
+	// CacheHits / CacheMisses count candidate tallies served from /
+	// inserted into the cross-query tally cache (both zero when the
+	// cache is disabled).
+	CacheHits   int
+	CacheMisses int
+	// CacheEvictions counts entries this query's inserts pushed out.
+	CacheEvictions int
 }
 
 // boundedCand is a candidate with its upper bound, ready for sorting.
@@ -31,11 +38,22 @@ type boundedCand struct {
 type candScore struct {
 	score float64
 	state uint8
+	// cache records the tally-cache interaction (cacheNone when the
+	// cache is disabled or the exact path answered); evicted counts
+	// entries displaced by this candidate's insert.
+	cache   uint8
+	evicted uint16
 }
 
 const (
 	candScored      = uint8(iota) // full estimate in score
 	candRoughPruned               // cut by the rough adaptive estimate
+)
+
+const (
+	cacheNone = uint8(iota)
+	cacheHit
+	cacheMiss
 )
 
 // scoreBlock is the number of bound-ordered candidates scored between two
@@ -231,6 +249,13 @@ func (e *Snapshot) search(ctx context.Context, u uint32, k int, theta float64, w
 		// Merge sequentially in bound order, exactly as the sequential
 		// path would have.
 		for j, b := range block {
+			switch scores[j].cache {
+			case cacheHit:
+				stats.CacheHits++
+			case cacheMiss:
+				stats.CacheMisses++
+			}
+			stats.CacheEvictions += int(scores[j].evicted)
 			switch scores[j].state {
 			case candRoughPruned:
 				stats.PrunedByRough++
@@ -248,7 +273,7 @@ func (e *Snapshot) search(ctx context.Context, u uint32, k int, theta float64, w
 }
 
 // scoreBlockParallel fans one block of candidates out to workers. Each
-// candidate's walks come from its own pair-seeded stream (candSeed), so
+// candidate's walks come from its own vertex-seeded stream (candSeed), so
 // which goroutine scores it — and in what order — cannot change its score.
 func (e *Snapshot) scoreBlockParallel(block []boundedCand, scores []candScore, u uint32, wd *walkDist, floor float64, exactU bool, workers int) {
 	if workers > len(block) {
@@ -275,29 +300,89 @@ func (e *Snapshot) scoreBlockParallel(block []boundedCand, scores []candScore, u
 }
 
 // scoreCandidate produces the estimate (or rough-prune verdict) for one
-// candidate v of a query at u. The candidate's RNG is seeded from (u, v),
-// never shared, so the result is a pure function of the engine state.
+// candidate v of a query at u. The candidate's RNG is seeded from v
+// alone (candSeed), never shared, so the result is a pure function of
+// the engine state — and the tally it produces is reusable across
+// queries, which the cross-query cache exploits. The cached and uncached
+// paths run the identical estimator over the identical walk stream
+// (tally.go), so enabling the cache changes work, never values.
+//
+// The legacy one-sided kernel (singlePairOneSided) remains for RScore
+// beyond the uint16 tally range; it uses the same per-vertex stream but
+// a step-synchronous simulation order, so its estimates differ in
+// sampling noise only.
 func (e *Snapshot) scoreCandidate(s *scratch, wd *walkDist, u, v uint32, floor float64, exactU bool) candScore {
 	if exactU {
 		// Deterministic scoring: propagate the candidate side exactly too
 		// when its support allows it.
 		if e.exactWalkDistInto(&s.wd2, s, v, e.p.ExactSupportCap) {
-			return candScore{e.dotSeries(wd, &s.wd2), candScored}
+			return candScore{score: e.dotSeries(wd, &s.wd2), state: candScored}
 		}
 	}
-	s.rng.Seed(e.candSeed(u, v))
+	R, Rr := e.p.RScore, e.p.RRough
+	if R > maxTallyCount {
+		s.rng.Seed(e.candSeed(v))
+		if e.p.DisableAdaptive {
+			return candScore{score: e.singlePairOneSided(s, wd, v, R, &s.rng), state: candScored}
+		}
+		rough := e.singlePairOneSided(s, wd, v, Rr, &s.rng)
+		if rough < 0.3*floor {
+			return candScore{state: candRoughPruned}
+		}
+		return candScore{score: e.singlePairOneSided(s, wd, v, R, &s.rng), state: candScored}
+	}
+	invR, invRr := 1/float64(R), 1/float64(Rr)
+	if c := e.cache; c != nil {
+		if ent := c.get(v); ent != nil {
+			cs := candScore{cache: cacheHit}
+			if !e.p.DisableAdaptive {
+				// "not small" (paper §7.2): keep the candidate when the
+				// rough estimate reaches 0.3x the pruning floor.
+				rough := e.dotTally(wd, ent.off, ent.verts, ent.rcnt, invRr, int(ent.rsteps))
+				if rough < 0.3*floor {
+					cs.state = candRoughPruned
+					return cs
+				}
+			}
+			cs.score = e.dotTally(wd, ent.off, ent.verts, ent.cnt, invR, e.p.T)
+			return cs
+		}
+		// Miss: simulate the whole stream once, publish the tally, and
+		// serve this query from the scratch view. The rough estimate is
+		// evaluated on the prefix counts, exactly as a hit would.
+		s.rng.Seed(e.candSeed(v))
+		e.simulateCandWalks(s, v, 0, R, R)
+		rsteps := e.buildFullTally(s, v, R, Rr, R)
+		cs := candScore{cache: cacheMiss}
+		cs.evicted = uint16(min(c.put(newTallyEntry(v, rsteps, s)), maxTallyCount))
+		if !e.p.DisableAdaptive {
+			rough := e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyRcnt, invRr, rsteps)
+			if rough < 0.3*floor {
+				cs.state = candRoughPruned
+				return cs
+			}
+		}
+		cs.score = e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyCnt, invR, e.p.T)
+		return cs
+	}
+	// Cache disabled: same estimator, scratch views only. The rough pass
+	// simulates just the prefix; walks Rr..R-1 continue the same stream
+	// (walk-major order makes the prefix positions identical either way).
+	s.rng.Seed(e.candSeed(v))
 	if e.p.DisableAdaptive {
-		return candScore{e.singlePairOneSided(s, wd, v, e.p.RScore, &s.rng), candScored}
+		e.simulateCandWalks(s, v, 0, R, R)
+		e.buildFullTally(s, v, R, Rr, R)
+		return candScore{score: e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyCnt, invR, e.p.T), state: candScored}
 	}
-	// "not small" (paper §7.2): keep the candidate when the rough
-	// estimate reaches 0.3x the pruning floor — at RRough = 10 the
-	// estimate is noisy, and a tighter cut measurably costs recall on
-	// borderline candidates.
-	rough := e.singlePairOneSided(s, wd, v, e.p.RRough, &s.rng)
+	e.simulateCandWalks(s, v, 0, Rr, R)
+	rsteps := e.buildRoughTally(s, v, Rr, R)
+	rough := e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyRcnt, invRr, rsteps)
 	if rough < 0.3*floor {
-		return candScore{0, candRoughPruned}
+		return candScore{state: candRoughPruned}
 	}
-	return candScore{e.singlePairOneSided(s, wd, v, e.p.RScore, &s.rng), candScored}
+	e.simulateCandWalks(s, v, Rr, R, R)
+	e.buildFullTally(s, v, R, Rr, R)
+	return candScore{score: e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyCnt, invR, e.p.T), state: candScored}
 }
 
 // collectCandidates enumerates candidate vertices for the query according

@@ -53,6 +53,15 @@ type scratch struct {
 	bounds []boundedCand
 	scores []candScore
 
+	// Candidate tally kernel buffers (tally.go): tpos is the walk-major
+	// step×walk position matrix, and tallyOff/tallyV/tallyCnt/tallyRcnt
+	// hold the compact per-step sorted tally view built from it.
+	tpos      []uint32
+	tallyOff  []int32
+	tallyV    []uint32
+	tallyCnt  []uint16
+	tallyRcnt []uint16
+
 	// L1-bound working storage (Algorithm 2's α table and β result).
 	alpha    []float64
 	overflow []float64
@@ -135,6 +144,30 @@ func (s *scratch) walkBuf2(R int) []uint32 {
 	}
 	s.pos2 = s.pos2[:R]
 	return s.pos2
+}
+
+// tposBuf returns the walk-major position matrix with T rows of length
+// stride. Contents are NOT cleared: the tally builders read exactly the
+// columns the current candidate's simulation wrote.
+func (s *scratch) tposBuf(T, stride int) []uint32 {
+	n := T * stride
+	if cap(s.tpos) < n {
+		s.tpos = make([]uint32, n)
+	}
+	s.tpos = s.tpos[:n]
+	return s.tpos
+}
+
+// tallyReset prepares the compact tally view for T steps.
+func (s *scratch) tallyReset(T int) {
+	if cap(s.tallyOff) < T+1 {
+		s.tallyOff = make([]int32, T+1)
+	}
+	s.tallyOff = s.tallyOff[:T+1]
+	s.tallyOff[0] = 0
+	s.tallyV = s.tallyV[:0]
+	s.tallyCnt = s.tallyCnt[:0]
+	s.tallyRcnt = s.tallyRcnt[:0]
 }
 
 // distBuf returns the dense distance array (all entries -1). The caller

@@ -33,6 +33,13 @@ type Snapshot struct {
 	// inverted (right -> left) direction used for candidate joins.
 	idx *candidateIndex
 
+	// cache is the cross-query candidate tally cache (cache.go); nil
+	// when Params.CacheBytes is 0 or RScore exceeds the uint16 tally
+	// range. Shared by every query against this snapshot; it holds
+	// derived, deterministic data only, so the snapshot stays logically
+	// immutable.
+	cache *tallyCache
+
 	// pool recycles query/preprocess scratch buffers (see scratch.go).
 	// poolGets/poolPuts count acquire/release round trips; they must be
 	// equal whenever no query is in flight (the cancellation tests assert
@@ -60,6 +67,9 @@ func newSnapshot(g *graph.Graph, p Params) *Snapshot {
 	sn := &Snapshot{g: g, p: p.normalized()}
 	n := g.N()
 	sn.pool.New = func() any { return newScratch(n) }
+	if sn.p.CacheBytes > 0 && sn.p.RScore <= maxTallyCount {
+		sn.cache = newTallyCache(g.N(), sn.p.CacheBytes)
+	}
 	return sn
 }
 
@@ -74,6 +84,15 @@ func (e *Snapshot) Stats() PreprocessStats { return e.stats }
 
 // Sealed reports whether the snapshot has been sealed for publication.
 func (e *Snapshot) Sealed() bool { return e.sealed }
+
+// CacheStats reports the tally-cache counters; all zero when the cache
+// is disabled.
+func (e *Snapshot) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
 
 // PoolBalance reports the scratch-pool acquire/release counters; they are
 // equal whenever no query is in flight. Exposed for tests and leak

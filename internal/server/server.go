@@ -2,7 +2,10 @@
 // JSON API, so the library can run as a standalone service:
 //
 //	GET /topk?u=42&k=20          -> {"query":42,"results":[{"node":7,"score":0.31},...]}
-//	GET /topk?u=42&k=20&stats=1  -> same, plus per-query pruning statistics
+//	GET /topk?u=42&k=20&stats=1  -> same, plus per-query pruning + cache statistics
+//	POST /topk/batch             -> {"queries":[1,2,...],"k":20,"stats":true} answers
+//	                                many queries against one snapshot, sharing the
+//	                                tally cache across the batch
 //	GET /pair?u=42&v=99          -> {"u":42,"v":99,"score":0.018}
 //	GET /similar?u=42&theta=0.05 -> same shape as /topk
 //	GET /stats                   -> graph and index statistics
@@ -33,6 +36,9 @@ type Handler struct {
 	mux *http.ServeMux
 	// MaxK caps the k parameter to keep responses bounded (default 1000).
 	MaxK int
+	// MaxBatch caps the number of queries one /topk/batch request may
+	// carry (default 1024).
+	MaxBatch int
 	// QueryTimeout bounds each query's computation (0 = no limit beyond
 	// the request context).
 	QueryTimeout time.Duration
@@ -40,9 +46,10 @@ type Handler struct {
 
 // New returns a ready-to-mount handler.
 func New(idx *simrank.Index) *Handler {
-	h := &Handler{idx: idx, MaxK: 1000}
+	h := &Handler{idx: idx, MaxK: 1000, MaxBatch: 1024}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/topk", h.handleTopK)
+	mux.HandleFunc("/topk/batch", h.handleTopKBatch)
 	mux.HandleFunc("/pair", h.handlePair)
 	mux.HandleFunc("/similar", h.handleSimilar)
 	mux.HandleFunc("/join", h.handleJoin)
@@ -94,14 +101,53 @@ type TopKResponse struct {
 	ElapsedM float64      `json:"elapsed_ms"`
 	// Stats is present on /topk?stats=1: pruning counters for the query.
 	Stats *QueryStatsJSON `json:"stats,omitempty"`
+	// Cache is present on /topk?stats=1: index-wide tally-cache state.
+	Cache *CacheStatsJSON `json:"cache,omitempty"`
 }
 
 // QueryStatsJSON mirrors simrank.QueryStats for API responses.
 type QueryStatsJSON struct {
-	Candidates    int `json:"candidates"`
-	PrunedByBound int `json:"pruned_by_bound"`
-	PrunedByRough int `json:"pruned_by_rough"`
-	Refined       int `json:"refined"`
+	Candidates     int `json:"candidates"`
+	PrunedByBound  int `json:"pruned_by_bound"`
+	PrunedByRough  int `json:"pruned_by_rough"`
+	Refined        int `json:"refined"`
+	CacheHits      int `json:"cache_hits"`
+	CacheMisses    int `json:"cache_misses"`
+	CacheEvictions int `json:"cache_evictions"`
+}
+
+func toStatsJSON(st simrank.QueryStats) *QueryStatsJSON {
+	return &QueryStatsJSON{
+		Candidates:     st.Candidates,
+		PrunedByBound:  st.PrunedByBound,
+		PrunedByRough:  st.PrunedByRough,
+		Refined:        st.Refined,
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
+		CacheEvictions: st.CacheEvictions,
+	}
+}
+
+// CacheStatsJSON reports the index-wide tally-cache state; all zero when
+// the cache is disabled.
+type CacheStatsJSON struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	BytesInUse  int64 `json:"bytes_in_use"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+func toCacheJSON(st simrank.CacheStats) *CacheStatsJSON {
+	return &CacheStatsJSON{
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Entries:     st.Entries,
+		BytesInUse:  st.BytesInUse,
+		BudgetBytes: st.BudgetBytes,
+	}
 }
 
 // PairResponse is the payload of /pair.
@@ -149,12 +195,8 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		resp.Results = toJSON(res)
-		resp.Stats = &QueryStatsJSON{
-			Candidates:    st.Candidates,
-			PrunedByBound: st.PrunedByBound,
-			PrunedByRough: st.PrunedByRough,
-			Refined:       st.Refined,
-		}
+		resp.Stats = toStatsJSON(st)
+		resp.Cache = toCacheJSON(h.idx.CacheStats())
 	} else {
 		res, err := h.idx.TopKCtx(ctx, u, k)
 		if err != nil {
@@ -164,6 +206,79 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.Results = toJSON(res)
 	}
 	resp.ElapsedM = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest is the payload of POST /topk/batch.
+type BatchRequest struct {
+	Queries []int `json:"queries"`
+	K       int   `json:"k"`
+	// Stats requests per-query pruning/cache statistics in the response.
+	Stats bool `json:"stats"`
+}
+
+// BatchResponse is the payload of POST /topk/batch: one TopKResponse per
+// query, in request order, plus the index-wide cache state after the
+// batch.
+type BatchResponse struct {
+	K        int             `json:"k"`
+	Results  []TopKResponse  `json:"results"`
+	ElapsedM float64         `json:"elapsed_ms"`
+	Cache    *CacheStatsJSON `json:"cache,omitempty"`
+}
+
+// handleTopKBatch answers POST /topk/batch: a JSON body with a query
+// slice, fanned over the index's workers against one snapshot with the
+// shared tally cache. Per-query elapsed time is not reported (queries
+// run concurrently); ElapsedM is the wall-clock for the whole batch.
+func (h *Handler) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must be non-empty")
+		return
+	}
+	if len(req.Queries) > h.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch size %d exceeds limit %d", len(req.Queries), h.MaxBatch))
+		return
+	}
+	if req.K == 0 {
+		req.K = 20
+	}
+	if req.K < 0 || req.K > h.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d]", h.MaxK))
+		return
+	}
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	start := time.Now()
+	res, sts, err := h.idx.TopKBatchWithStatsCtx(ctx, req.Queries, req.K)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	resp := BatchResponse{
+		K:       req.K,
+		Results: make([]TopKResponse, len(res)),
+	}
+	for i := range res {
+		resp.Results[i] = TopKResponse{Query: req.Queries[i], Results: toJSON(res[i])}
+		if req.Stats {
+			resp.Results[i].Stats = toStatsJSON(sts[i])
+		}
+	}
+	resp.ElapsedM = float64(time.Since(start).Microseconds()) / 1000
+	if req.Stats {
+		resp.Cache = toCacheJSON(h.idx.CacheStats())
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -3,8 +3,10 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -264,5 +266,135 @@ func TestConcurrentRequests(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Fatalf("concurrent request failed: %s", e)
+	}
+}
+
+func postJSON(t *testing.T, h http.Handler, url, body string) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+// cachedHandler builds a handler over an index with the tally cache on,
+// so batch responses exercise the cache counters.
+func cachedHandler(t *testing.T) *Handler {
+	t.Helper()
+	g := simrank.GenerateCollaborationGraph(50, 4, 0.8, 7)
+	opts := simrank.DefaultOptions()
+	opts.CacheBytes = 1 << 22
+	return New(simrank.BuildIndex(g, opts))
+}
+
+func TestTopKBatchEndpoint(t *testing.T) {
+	h := cachedHandler(t)
+	rec, body := postJSON(t, h, "/topk/batch", `{"queries":[0,7,7,42],"k":5}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.K != 5 || len(resp.Results) != 4 {
+		t.Fatalf("resp k=%d results=%d, want 5 and 4", resp.K, len(resp.Results))
+	}
+	if resp.Cache != nil {
+		t.Fatal("cache reported without stats=true")
+	}
+	// Per-query payloads must match the singleton endpoint exactly.
+	for i, u := range []int{0, 7, 7, 42} {
+		if resp.Results[i].Query != u {
+			t.Fatalf("result %d answers query %d, want %d", i, resp.Results[i].Query, u)
+		}
+		_, single := get(t, h, fmt.Sprintf("/topk?u=%d&k=5", u))
+		var want TopKResponse
+		if err := json.Unmarshal(single, &want); err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Results) != len(resp.Results[i].Results) {
+			t.Fatalf("query %d: batch %d results vs single %d", u, len(resp.Results[i].Results), len(want.Results))
+		}
+		for j := range want.Results {
+			if want.Results[j] != resp.Results[i].Results[j] {
+				t.Fatalf("query %d result %d: batch %+v vs single %+v", u, j, resp.Results[i].Results[j], want.Results[j])
+			}
+		}
+	}
+}
+
+func TestTopKBatchStats(t *testing.T) {
+	h := cachedHandler(t)
+	// Warm the cache, then ask for stats: the repeated queries must show
+	// cache activity and the batch-wide cache block must be present.
+	postJSON(t, h, "/topk/batch", `{"queries":[0,1,2,3],"k":5}`)
+	rec, body := postJSON(t, h, "/topk/batch", `{"queries":[0,1,2,3],"k":5,"stats":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i, r := range resp.Results {
+		if r.Stats == nil {
+			t.Fatalf("result %d missing stats", i)
+		}
+		hits += r.Stats.CacheHits
+	}
+	if hits == 0 {
+		t.Fatal("warm repeat batch recorded no cache hits")
+	}
+	if resp.Cache == nil || resp.Cache.Hits == 0 || resp.Cache.Entries == 0 {
+		t.Fatalf("implausible batch cache block: %+v", resp.Cache)
+	}
+	if resp.Cache.BytesInUse <= 0 || resp.Cache.BytesInUse > resp.Cache.BudgetBytes {
+		t.Fatalf("cache bytes out of budget: %+v", resp.Cache)
+	}
+}
+
+func TestTopKBatchValidation(t *testing.T) {
+	h := testHandler(t)
+	if rec, body := get(t, h, "/topk/batch"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d: %s", rec.Code, body)
+	} else if rec.Header().Get("Allow") != http.MethodPost {
+		t.Fatalf("Allow = %q, want POST", rec.Header().Get("Allow"))
+	}
+	for _, tc := range []struct{ name, body string }{
+		{"bad json", `{"queries":`},
+		{"empty", `{"queries":[],"k":5}`},
+		{"bad vertex", `{"queries":[0,5000],"k":5}`},
+		{"bad k", `{"queries":[0],"k":-3}`},
+	} {
+		rec, body := postJSON(t, h, "/topk/batch", tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d: %s", tc.name, rec.Code, body)
+		}
+	}
+	h.MaxBatch = 2
+	if rec, body := postJSON(t, h, "/topk/batch", `{"queries":[0,1,2],"k":5}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversize batch status %d: %s", rec.Code, body)
+	}
+}
+
+func TestTopKStatsIncludesCache(t *testing.T) {
+	h := cachedHandler(t)
+	get(t, h, "/topk?u=0&k=5") // cold pass populates
+	rec, body := get(t, h, "/topk?u=0&k=5&stats=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp TopKResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats == nil || resp.Cache == nil {
+		t.Fatalf("stats=1 missing stats or cache block: %s", body)
+	}
+	if resp.Cache.Misses == 0 {
+		t.Fatalf("cache block shows no activity after two queries: %+v", resp.Cache)
 	}
 }

@@ -3,7 +3,8 @@
 # on the first failure, including any simlint diagnostic.
 #
 # Sequence: gofmt cleanliness, go vet, build, full shuffled test suite,
-# race pass over every package, simlint over ./... .
+# race pass over every package, simlint over ./..., and a one-iteration
+# benchmark smoke pass.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,5 +31,10 @@ go test -race ./...
 
 echo "==> simlint ./..."
 go run ./cmd/simlint ./...
+
+# One iteration of every benchmark: catches bit-rot in bench-only code
+# paths without paying for real measurements.
+echo "==> bench smoke (1 iteration each)"
+go test -run - -bench . -benchtime 1x ./...
 
 echo "==> gate clean"

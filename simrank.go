@@ -40,6 +40,12 @@ type Options struct {
 	// small (they do on web-like graphs), eliminating sampling noise at
 	// some query-time cost. Falls back to sampling around hubs.
 	ExactScores bool
+	// CacheBytes bounds the per-index cross-query tally cache: candidate
+	// walk tallies are pure functions of the index state, so queries
+	// that revisit a candidate reuse its simulation instead of redoing
+	// it. 0 disables the cache. Results are byte-identical with the
+	// cache on or off; only throughput changes.
+	CacheBytes int64
 	// Seed makes all Monte-Carlo components deterministic. Default 1.
 	Seed uint64
 	// Workers bounds parallelism: the preprocess and all-pairs modes
@@ -56,16 +62,17 @@ func DefaultOptions() Options { return Options{} }
 // toParams maps Options onto the internal parameter set.
 func (o Options) toParams() core.Params {
 	p := core.Params{
-		C:       o.DecayFactor,
-		T:       o.Steps,
-		RScore:  o.Samples,
-		RRough:  o.RoughSamples,
-		RAlpha:  o.BoundSamples,
-		P:       o.IndexTrials,
-		Q:       o.IndexWalks,
-		Theta:   o.Threshold,
-		Seed:    o.Seed,
-		Workers: o.Workers,
+		C:          o.DecayFactor,
+		T:          o.Steps,
+		RScore:     o.Samples,
+		RRough:     o.RoughSamples,
+		RAlpha:     o.BoundSamples,
+		P:          o.IndexTrials,
+		Q:          o.IndexWalks,
+		Theta:      o.Threshold,
+		CacheBytes: o.CacheBytes,
+		Seed:       o.Seed,
+		Workers:    o.Workers,
 	}
 	if o.Seed == 0 {
 		p.Seed = 1
@@ -151,7 +158,40 @@ type QueryStats struct {
 	PrunedByRough int
 	// Refined received the full-sample estimate.
 	Refined int
+	// CacheHits / CacheMisses count candidate tallies served from /
+	// inserted into the cross-query cache (zero when disabled).
+	CacheHits   int
+	CacheMisses int
+	// CacheEvictions counts cache entries this query's inserts displaced.
+	CacheEvictions int
 }
+
+// CacheStats reports the cross-query tally cache's lifetime counters and
+// current footprint. All fields are zero when Options.CacheBytes is 0.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	// BytesInUse approximates the cached entries' heap footprint; it
+	// stays within BudgetBytes at quiescence.
+	BytesInUse  int64
+	BudgetBytes int64
+}
+
+func toCacheStats(st core.CacheStats) CacheStats {
+	return CacheStats{
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Entries:     st.Entries,
+		BytesInUse:  st.BytesInUse,
+		BudgetBytes: st.BudgetBytes,
+	}
+}
+
+// CacheStats reports the index's tally-cache counters.
+func (ix *Index) CacheStats() CacheStats { return toCacheStats(ix.e.CacheStats()) }
 
 // TopKWithStats is TopK plus pruning statistics, for tuning and
 // observability.
@@ -168,12 +208,60 @@ func (ix *Index) TopKWithStatsCtx(ctx context.Context, u, k int) ([]Result, Quer
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return toResults(res), QueryStats{
-		Candidates:    st.Candidates,
-		PrunedByBound: st.PrunedByBound,
-		PrunedByRough: st.PrunedByRough,
-		Refined:       st.Refined,
-	}, nil
+	return toResults(res), toQueryStats(st), nil
+}
+
+func toQueryStats(st core.QueryStats) QueryStats {
+	return QueryStats{
+		Candidates:     st.Candidates,
+		PrunedByBound:  st.PrunedByBound,
+		PrunedByRough:  st.PrunedByRough,
+		Refined:        st.Refined,
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
+		CacheEvictions: st.CacheEvictions,
+	}
+}
+
+// TopKBatch answers many top-k queries at once, fanning them over
+// Options.Workers whole-query workers that share the index's tally
+// cache. Results (and per-query statistics) are identical to issuing
+// each query individually; batching only changes throughput.
+func (ix *Index) TopKBatch(us []int, k int) ([][]Result, error) {
+	res, _, err := ix.TopKBatchWithStatsCtx(context.Background(), us, k)
+	return res, err
+}
+
+// TopKBatchCtx is TopKBatch with cancellation, observed between queries
+// and between candidate-scoring blocks within each query.
+func (ix *Index) TopKBatchCtx(ctx context.Context, us []int, k int) ([][]Result, error) {
+	res, _, err := ix.TopKBatchWithStatsCtx(ctx, us, k)
+	return res, err
+}
+
+// TopKBatchWithStatsCtx is TopKBatchCtx plus per-query pruning and cache
+// statistics.
+func (ix *Index) TopKBatchWithStatsCtx(ctx context.Context, us []int, k int) ([][]Result, []QueryStats, error) {
+	qs := make([]uint32, len(us))
+	for i, u := range us {
+		if err := ix.g.checkVertex(u); err != nil {
+			return nil, nil, err
+		}
+		qs[i] = uint32(u)
+	}
+	res, sts, err := ix.e.TopKBatchCtx(ctx, qs, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]Result, len(res))
+	for i, r := range res {
+		out[i] = toResults(r)
+	}
+	stats := make([]QueryStats, len(sts))
+	for i, st := range sts {
+		stats[i] = toQueryStats(st)
+	}
+	return out, stats, nil
 }
 
 // Similar returns every vertex whose estimated SimRank score with u is at
