@@ -3,16 +3,32 @@
 //
 // Usage:
 //
-//	simlint [-json] [-rules norand,seedmix,...] [-list] [packages]
+//	simlint [-json] [-rules norand,seedmix,...] [-list] [-v] [-par N]
+//	        [-baseline file [-write-baseline]] [packages]
 //
 // Packages are directories or "dir/..." patterns; the default is "./...".
 // The tool is its own driver (the stdlib has no vet -vettool plumbing),
 // type-checks from source with go/parser + go/types, and needs no
-// dependencies beyond the standard library.
+// dependencies beyond the standard library. Loading is sequential (the
+// loader shares a FileSet and package cache) but the analyzers run over
+// packages in parallel, bounded by -par; output order is deterministic
+// regardless of scheduling.
 //
-// Exit status: 0 when clean, 1 when any diagnostic is reported, 2 on
-// usage or load errors. Suppress individual findings in source with
-// //lint:ignore <rule> <reason> on or directly above the flagged line.
+// With -baseline FILE, diagnostics recorded in FILE are accepted and only
+// new findings are reported — the CI mode, so a newly added analyzer's
+// pre-existing debt fails no one while new regressions fail immediately.
+// -write-baseline (re)writes FILE from the current findings instead.
+// Entries that no longer fire are listed as stale under -v so the debt
+// file shrinks over time.
+//
+// Exit status:
+//
+//	0  clean: no diagnostics, or (with -baseline) none beyond the baseline
+//	1  diagnostics found (new diagnostics, in baseline mode)
+//	2  usage, load, or type-checking error
+//
+// Suppress individual findings in source with //lint:ignore <rule>
+// <reason> on or directly above the flagged line.
 package main
 
 import (
@@ -21,7 +37,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -34,7 +54,10 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
-	verbose := flag.Bool("v", false, "report loader warnings (stubbed imports, soft type errors)")
+	verbose := flag.Bool("v", false, "report loader warnings, per-analyzer wall time, and stale baseline entries")
+	par := flag.Int("par", runtime.NumCPU(), "max packages analyzed concurrently")
+	baselinePath := flag.String("baseline", "", "baseline JSON file: report only diagnostics not recorded in it (exit 1 = new findings)")
+	writeBaseline := flag.Bool("write-baseline", false, "write current diagnostics to the -baseline file and exit 0")
 	flag.Parse()
 
 	analyzers := analysis.Analyzers()
@@ -52,20 +75,57 @@ func run() int {
 			return 2
 		}
 	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "simlint: -write-baseline requires -baseline FILE")
+		return 2
+	}
+	if *par < 1 {
+		*par = 1
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
+	timing := newTimingSink(*verbose)
 	var diags []analysis.Diagnostic
+	modRoot := ""
 	for _, pat := range patterns {
-		ds, err := lintPattern(pat, analyzers, *verbose)
+		ds, root, err := lintPattern(pat, analyzers, *par, *verbose, timing)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 			return 2
 		}
+		if modRoot == "" {
+			modRoot = root
+		}
 		diags = append(diags, ds...)
+	}
+	timing.report()
+
+	if *writeBaseline {
+		b := analysis.NewBaseline(diags, modRoot)
+		if err := b.WriteFile(*baselinePath); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote %d baseline entries to %s\n", len(b.Entries), *baselinePath)
+		return 0
+	}
+	if *baselinePath != "" {
+		b, err := analysis.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v (run with -write-baseline to create it)\n", err)
+			return 2
+		}
+		var stale []analysis.BaselineEntry
+		diags, stale = b.Filter(diags, modRoot)
+		if *verbose {
+			for _, e := range stale {
+				fmt.Fprintf(os.Stderr, "simlint: stale baseline entry: %s: %s (%s)\n", e.File, e.Message, e.Rule)
+			}
+		}
 	}
 
 	if *jsonOut {
@@ -89,7 +149,11 @@ func run() int {
 	return 0
 }
 
-func lintPattern(pat string, analyzers []*analysis.Analyzer, verbose bool) ([]analysis.Diagnostic, error) {
+// lintPattern loads one pattern's packages (sequentially — the loader is
+// not concurrency-safe) and analyzes them in parallel. Results are
+// collected by package index, so output order matches load order no
+// matter how the goroutines are scheduled.
+func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose bool, timing *timingSink) ([]analysis.Diagnostic, string, error) {
 	root := strings.TrimSuffix(pat, "...")
 	recursive := root != pat
 	root = filepath.Clean(strings.TrimSuffix(root, "/"))
@@ -99,7 +163,7 @@ func lintPattern(pat string, analyzers []*analysis.Analyzer, verbose bool) ([]an
 
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var pkgs []*analysis.Package
 	if recursive {
@@ -110,26 +174,91 @@ func lintPattern(pat string, analyzers []*analysis.Analyzer, verbose bool) ([]an
 		pkgs = []*analysis.Package{pkg}
 	}
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 
-	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		if verbose {
+	if verbose {
+		for _, pkg := range pkgs {
 			for _, te := range pkg.TypeErrors {
 				fmt.Fprintf(os.Stderr, "simlint: warning: %s: %v\n", pkg.ImportPath, te)
 			}
 		}
-		ds, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			return nil, err
+	}
+
+	results := make([][]analysis.Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *analysis.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = analysis.RunInstrumented(pkg, analyzers, timing.now(), timing.observe())
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	var diags []analysis.Diagnostic
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, "", errs[i]
 		}
-		diags = append(diags, ds...)
+		diags = append(diags, results[i]...)
 	}
 	if verbose {
 		for _, stub := range loader.Stubs() {
 			fmt.Fprintf(os.Stderr, "simlint: warning: import %q stubbed (not resolvable)\n", stub)
 		}
 	}
-	return diags, nil
+	return diags, loader.ModuleRoot, nil
+}
+
+// timingSink accumulates per-analyzer wall time across packages and
+// goroutines. The clock is injected into the analysis package from here:
+// internal/analysis sits inside its own norand scope and must not call
+// time.Now itself.
+type timingSink struct {
+	mu      sync.Mutex
+	enabled bool
+	total   map[string]time.Duration
+}
+
+func newTimingSink(enabled bool) *timingSink {
+	return &timingSink{enabled: enabled, total: map[string]time.Duration{}}
+}
+
+func (t *timingSink) now() func() time.Time {
+	if !t.enabled {
+		return nil
+	}
+	return time.Now
+}
+
+func (t *timingSink) observe() func(rule string, elapsed time.Duration) {
+	if !t.enabled {
+		return nil
+	}
+	return func(rule string, elapsed time.Duration) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.total[rule] += elapsed
+	}
+}
+
+func (t *timingSink) report() {
+	if !t.enabled {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.total))
+	for name := range t.total {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "simlint: timing: %-12s %v\n", name, t.total[name].Round(time.Microsecond))
+	}
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"time"
 )
 
 // An Analyzer is one named invariant check.
@@ -80,10 +81,28 @@ func (d Diagnostic) String() string {
 // findings, and returns the surviving diagnostics sorted by position.
 // Malformed ignore directives are reported under the pseudo-rule "lint".
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunInstrumented(pkg, analyzers, nil, nil)
+}
+
+// RunInstrumented is Run with an optional per-analyzer timing hook:
+// observe is called once per analyzer with its wall-clock Run duration.
+// The clock is injected by the caller (cmd/simlint passes time.Now)
+// because this package sits inside its own norand scope and must not
+// read the wall clock directly. Either argument may be nil to disable
+// timing.
+func RunInstrumented(pkg *Package, analyzers []*Analyzer, now func() time.Time, observe func(rule string, elapsed time.Duration)) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
-		if err := a.Run(pass); err != nil {
+		var start time.Time
+		if now != nil && observe != nil {
+			start = now()
+		}
+		err := a.Run(pass)
+		if now != nil && observe != nil {
+			observe(a.Name, now().Sub(start))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
 		}
 	}

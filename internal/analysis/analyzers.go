@@ -14,6 +14,10 @@ func Analyzers() []*Analyzer {
 		SeedMix,
 		PoolBalance,
 		GoSpawn,
+		AtomicField,
+		LockBalance,
+		CtxFlow,
+		SealWrite,
 	}
 }
 

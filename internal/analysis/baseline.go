@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// baseline.go implements the CI gating mode: a committed JSON file of
+// accepted diagnostics, so the gate fails only on *new* findings. This is
+// how a new analyzer can land with pre-existing debt without blocking
+// every unrelated PR, and how that debt is prevented from growing.
+//
+// Matching deliberately ignores line numbers: an entry is (rule, file,
+// message), and each entry absorbs at most as many diagnostics as the
+// entry is duplicated. Unrelated edits that shift lines therefore do not
+// invalidate the baseline, while a second instance of an accepted
+// diagnostic in the same file is still reported as new.
+
+// A Baseline is the committed set of accepted diagnostics.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// A BaselineEntry identifies one accepted diagnostic. File is
+// module-root-relative with forward slashes so baselines are stable
+// across checkouts and platforms.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+const baselineVersion = 1
+
+// baselineFile renders a diagnostic's file path for baseline matching.
+func baselineFile(file, modRoot string) string {
+	if modRoot != "" {
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// NewBaseline captures the given diagnostics as a baseline, sorted so
+// the serialized form is deterministic.
+func NewBaseline(diags []Diagnostic, modRoot string) *Baseline {
+	b := &Baseline{Version: baselineVersion, Entries: []BaselineEntry{}}
+	for _, d := range diags {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Rule:    d.Rule,
+			File:    baselineFile(d.File, modRoot),
+			Message: d.Message,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteFile serializes the baseline with a trailing newline (it is a
+// committed file; diffs should be clean).
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads and validates a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("%s: unsupported baseline version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Filter splits diags into the ones not covered by the baseline (new
+// findings that should fail the gate) and reports the baseline entries
+// that no longer fire (stale debt that can be deleted). Each entry
+// absorbs at most one diagnostic per duplication.
+func (b *Baseline) Filter(diags []Diagnostic, modRoot string) (fresh []Diagnostic, stale []BaselineEntry) {
+	key := func(rule, file, msg string) string {
+		return rule + "\x00" + file + "\x00" + msg
+	}
+	remaining := map[string]int{}
+	for _, e := range b.Entries {
+		remaining[key(e.Rule, e.File, e.Message)]++
+	}
+	for _, d := range diags {
+		k := key(d.Rule, baselineFile(d.File, modRoot), d.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		k := key(e.Rule, e.File, e.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	modRoot := filepath.FromSlash("/mod")
+	diags := []Diagnostic{
+		{Rule: "lockbalance", File: filepath.FromSlash("/mod/internal/core/store.go"), Line: 42, Message: "mu.Lock() here is not matched"},
+		{Rule: "atomicfield", File: filepath.FromSlash("/mod/internal/server/state.go"), Line: 7, Message: "plain store to atomic field ready"},
+	}
+
+	b := NewBaseline(diags, modRoot)
+	path := filepath.Join(t.TempDir(), "lint.baseline.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	rb, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	if len(rb.Entries) != len(diags) {
+		t.Fatalf("round trip lost entries: got %d, want %d", len(rb.Entries), len(diags))
+	}
+
+	// Same diagnostics → empty diff, even when line numbers shift.
+	shifted := make([]Diagnostic, len(diags))
+	copy(shifted, diags)
+	shifted[0].Line = 99
+	fresh, stale := rb.Filter(shifted, modRoot)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("clean re-run: got %d fresh and %d stale, want 0 and 0", len(fresh), len(stale))
+	}
+
+	// An injected regression is reported as fresh.
+	injected := append(shifted, Diagnostic{
+		Rule: "lockbalance", File: filepath.FromSlash("/mod/internal/core/other.go"), Message: "double unlock panics at runtime",
+	})
+	fresh, _ = rb.Filter(injected, modRoot)
+	if len(fresh) != 1 || fresh[0].Message != "double unlock panics at runtime" {
+		t.Errorf("injected regression: fresh = %v, want exactly the new diagnostic", fresh)
+	}
+
+	// A second instance of an accepted diagnostic in the same file is
+	// still new: entries absorb one diagnostic per duplication.
+	dup := append(shifted, shifted[0])
+	fresh, _ = rb.Filter(dup, modRoot)
+	if len(fresh) != 1 {
+		t.Errorf("duplicated diagnostic: got %d fresh, want 1", len(fresh))
+	}
+
+	// A fixed diagnostic leaves its entry stale so the debt can be deleted.
+	fresh, stale = rb.Filter(shifted[:1], modRoot)
+	if len(fresh) != 0 || len(stale) != 1 || stale[0].Rule != "atomicfield" {
+		t.Errorf("fixed diagnostic: fresh = %v, stale = %v, want the atomicfield entry stale", fresh, stale)
+	}
+}
+
+func TestBaselineVersionCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	b := &Baseline{Version: 99, Entries: []BaselineEntry{}}
+	if err := b.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := ReadBaseline(path); err == nil {
+		t.Errorf("ReadBaseline accepted unsupported version 99")
+	}
+}

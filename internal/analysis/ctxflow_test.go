@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, CtxFlow, "ctxflow")
+}

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// dataflow.go holds the solvers that run over a CFG (cfg.go): a generic
+// forward worklist solver, the two-point pairing lattice shared by
+// poolbalance and lockbalance, reaching definitions (used by ctxflow to
+// decide whether a context variable still derives from the caller's ctx),
+// and the escape-to-goroutine fact (used by atomicfield to exempt
+// unpublished values under construction).
+
+// pairState is the lattice of a must-pair analysis: is the resource
+// (scratch buffer, mutex) held at this point on every path, no path, or
+// does it depend on the path taken?
+type pairState uint8
+
+const (
+	pairBottom pairState = iota // unvisited
+	pairFree                    // released / not yet acquired on all paths
+	pairHeld                    // acquired and not released on all paths
+	pairMixed                   // held on some paths, free on others
+)
+
+func (s pairState) String() string {
+	switch s {
+	case pairFree:
+		return "free"
+	case pairHeld:
+		return "held"
+	case pairMixed:
+		return "mixed"
+	}
+	return "bottom"
+}
+
+// joinPair merges the states flowing in from two predecessors.
+func joinPair(a, b pairState) pairState {
+	switch {
+	case a == pairBottom:
+		return b
+	case b == pairBottom:
+		return a
+	case a == b:
+		return a
+	default:
+		return pairMixed
+	}
+}
+
+// ForwardFlow solves a forward dataflow problem over the blocks of c
+// reachable from Entry and returns each visited block's entry fact.
+// transfer must be a pure function of (block, in); join must be monotone
+// over a finite lattice or the worklist will not terminate.
+func ForwardFlow[S comparable](c *CFG, entry S, join func(S, S) S, transfer func(b *CFGBlock, in S) S) map[*CFGBlock]S {
+	in := map[*CFGBlock]S{c.Entry: entry}
+	work := []*CFGBlock{c.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			cur, seen := in[s]
+			next := out
+			if seen {
+				next = join(cur, out)
+			}
+			if !seen || next != cur {
+				in[s] = next
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// A Definition is one point where a variable receives a value: an
+// assignment, a var declaration, a range clause, or (with Node nil) a
+// function parameter. Rhs is the defining expression when the form has a
+// one-to-one right-hand side, nil otherwise (parameters, ranges, x, y :=
+// f() forms).
+type Definition struct {
+	Var  *types.Var
+	Node ast.Node
+	Rhs  ast.Expr
+}
+
+// A DefSet maps each variable to the set of definitions that may reach a
+// program point.
+type DefSet map[*types.Var]map[*Definition]bool
+
+func (d DefSet) clone() DefSet {
+	out := make(DefSet, len(d))
+	for v, defs := range d {
+		m := make(map[*Definition]bool, len(defs))
+		for def := range defs {
+			m[def] = true
+		}
+		out[v] = m
+	}
+	return out
+}
+
+// kill replaces v's reaching definitions with the single def.
+func (d DefSet) kill(def *Definition) {
+	d[def.Var] = map[*Definition]bool{def: true}
+}
+
+// merge unions src into d, reporting whether d grew.
+func (d DefSet) merge(src DefSet) bool {
+	changed := false
+	for v, defs := range src {
+		dst, ok := d[v]
+		if !ok {
+			dst = make(map[*Definition]bool, len(defs))
+			d[v] = dst
+		}
+		for def := range defs {
+			if !dst[def] {
+				dst[def] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// ReachingDefs computes, for every block reachable from c's entry, which
+// definitions of each variable may reach the block's start. params seed
+// the entry fact with parameter definitions (Node nil). The returned all
+// slice lists every definition discovered, in block/node order.
+func ReachingDefs(c *CFG, info *types.Info, params []*types.Var) (entry map[*CFGBlock]DefSet, all []*Definition) {
+	// Pre-compute each block's definitions in execution order.
+	blockDefs := make(map[*CFGBlock][]*Definition, len(c.Blocks))
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			defs := nodeDefs(info, n)
+			blockDefs[b] = append(blockDefs[b], defs...)
+			all = append(all, defs...)
+		}
+	}
+
+	seed := DefSet{}
+	for _, p := range params {
+		seed.kill(&Definition{Var: p})
+	}
+
+	entry = map[*CFGBlock]DefSet{c.Entry: seed}
+	work := []*CFGBlock{c.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := entry[b].clone()
+		for _, def := range blockDefs[b] {
+			out.kill(def)
+		}
+		for _, s := range b.Succs {
+			cur, seen := entry[s]
+			if !seen {
+				entry[s] = out.clone()
+				work = append(work, s)
+				continue
+			}
+			if cur.merge(out) {
+				work = append(work, s)
+			}
+		}
+	}
+	return entry, all
+}
+
+// DefsAt applies the definitions of b's nodes strictly before the node
+// containing `at` to the block-entry fact in, yielding the definitions
+// reaching `at`. (The containing node's own definitions are excluded:
+// in `x := f(x)` the argument sees the previous x.)
+func DefsAt(b *CFGBlock, in DefSet, info *types.Info, at ast.Node) DefSet {
+	out := in.clone()
+	for _, n := range b.Nodes {
+		if containsNode(n, at) {
+			break
+		}
+		for _, def := range nodeDefs(info, n) {
+			out.kill(def)
+		}
+	}
+	return out
+}
+
+// containsNode reports whether sub occurs in the subtree rooted at n.
+func containsNode(n, sub ast.Node) bool {
+	if n == sub {
+		return true
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found || m == nil {
+			return false
+		}
+		if m == sub {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nodeDefs extracts the variable definitions a single shallow CFG node
+// performs, in evaluation order. Only named local variables are tracked;
+// blank and field/index targets contribute nothing.
+func nodeDefs(info *types.Info, n ast.Node) []*Definition {
+	var defs []*Definition
+	addIdent := func(id *ast.Ident, rhs ast.Expr) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		defs = append(defs, &Definition{Var: v, Node: n, Rhs: rhs})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			switch {
+			case len(n.Lhs) == len(n.Rhs):
+				rhs = n.Rhs[i]
+			case len(n.Rhs) == 1:
+				// a, b := f(x): both variables derive from the one call.
+				rhs = n.Rhs[0]
+			}
+			addIdent(id, rhs)
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			addIdent(id, nil)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				switch {
+				case len(vs.Names) == len(vs.Values):
+					rhs = vs.Values[i]
+				case len(vs.Values) == 1:
+					rhs = vs.Values[0]
+				}
+				addIdent(name, rhs)
+			}
+		}
+	case *ast.RangeStmt:
+		if id, ok := ast.Unparen(n.Key).(*ast.Ident); ok && n.Key != nil {
+			addIdent(id, nil)
+		}
+		if n.Value != nil {
+			if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+				addIdent(id, nil)
+			}
+		}
+	}
+	return defs
+}
+
+// GoCaptured returns every object referenced from inside a goroutine
+// spawned in body (the `go` call's arguments and, for function literals,
+// the literal's body). Anything in the set may be accessed concurrently
+// with the spawning function, so analyzers must not treat it as privately
+// owned.
+func GoCaptured(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	caps := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(gs.Call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					caps[obj] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return caps
+}

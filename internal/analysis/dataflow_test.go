@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+func fixtureFunc(t *testing.T, pkg *Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	t.Fatalf("function %s not found in fixture", name)
+	return nil
+}
+
+func sigParams(t *testing.T, pkg *Package, fd *ast.FuncDecl) []*types.Var {
+	t.Helper()
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		t.Fatalf("no types.Func for %s", fd.Name.Name)
+	}
+	sig := fn.Type().(*types.Signature)
+	var out []*types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// localVar finds the *types.Var defined with the given name inside fd.
+func localVar(t *testing.T, pkg *Package, fd *ast.FuncDecl, name string) *types.Var {
+	t.Helper()
+	for id, obj := range pkg.Info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.Name() != name {
+			continue
+		}
+		if id.Pos() >= fd.Pos() && id.End() <= fd.End() {
+			return v
+		}
+	}
+	t.Fatalf("local %s not found in %s", name, fd.Name.Name)
+	return nil
+}
+
+// stmtBlock finds the unique reachable block containing a node matching pred.
+func stmtBlock(t *testing.T, cfg *CFG, desc string, pred func(ast.Node) bool) (*CFGBlock, ast.Node) {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return b, n
+			}
+		}
+	}
+	t.Fatalf("no block contains %s:\n%s", desc, cfg)
+	return nil, nil
+}
+
+func TestReachingDefsReassign(t *testing.T) {
+	pkg := loadFixture(t, "dataflow")
+	fd := fixtureFunc(t, pkg, "reassign")
+	cfg := BuildCFG(fd.Body)
+	entry, _ := ReachingDefs(cfg, pkg.Info, sigParams(t, pkg, fd))
+
+	retBlock, retStmt := stmtBlock(t, cfg, "return", func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	defs := DefsAt(retBlock, entry[retBlock], pkg.Info, retStmt)
+
+	x := localVar(t, pkg, fd, "x")
+	if got := len(defs[x]); got != 2 {
+		t.Errorf("got %d reaching defs of x at the return, want 2 (x := 1 merged with x = 2)", got)
+	}
+
+	// The parameter is seeded as a synthetic definition with Node == nil.
+	cond := sigParams(t, pkg, fd)[0]
+	condDefs := defs[cond]
+	if len(condDefs) != 1 {
+		t.Fatalf("got %d reaching defs of param cond, want 1", len(condDefs))
+	}
+	for d := range condDefs {
+		if d.Node != nil {
+			t.Errorf("param def has Node %T, want nil (synthetic seed)", d.Node)
+		}
+	}
+}
+
+func TestReachingDefsMultiValue(t *testing.T) {
+	pkg := loadFixture(t, "dataflow")
+	fd := fixtureFunc(t, pkg, "multiValue")
+	cfg := BuildCFG(fd.Body)
+	entry, _ := ReachingDefs(cfg, pkg.Info, sigParams(t, pkg, fd))
+
+	retBlock, retStmt := stmtBlock(t, cfg, "return", func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	defs := DefsAt(retBlock, entry[retBlock], pkg.Info, retStmt)
+
+	a := localVar(t, pkg, fd, "a")
+	b := localVar(t, pkg, fd, "b")
+	if got := len(defs[a]); got != 2 {
+		t.Errorf("got %d reaching defs of a, want 2 (a, b := pair() merged with a = 3)", got)
+	}
+	if got := len(defs[b]); got != 1 {
+		t.Fatalf("got %d reaching defs of b, want 1", len(defs[b]))
+	}
+	// a, b := pair() attributes the single multi-value Rhs to every LHS.
+	for d := range defs[b] {
+		if _, ok := d.Rhs.(*ast.CallExpr); !ok {
+			t.Errorf("b's def has Rhs %T, want the pair() CallExpr", d.Rhs)
+		}
+	}
+}
+
+func TestGoCaptured(t *testing.T) {
+	pkg := loadFixture(t, "dataflow")
+	fd := fixtureFunc(t, pkg, "capture")
+	captured := GoCaptured(pkg.Info, fd.Body)
+
+	m := localVar(t, pkg, fd, "m")
+	done := localVar(t, pkg, fd, "done")
+	n := sigParams(t, pkg, fd)[0]
+
+	if !captured[m] || !captured[done] {
+		t.Errorf("m and done are referenced inside the go statement; captured = %v", captured)
+	}
+	if captured[n] {
+		t.Errorf("n is only used outside the goroutine but was marked captured")
+	}
+}

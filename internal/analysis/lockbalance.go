@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockBalance checks mutex discipline in the serving packages: every
+// Lock() must be matched by an Unlock() on every CFG path out of the
+// function (or covered by a defer), a mutex must never be re-Locked
+// while already held (self-deadlock), and an Unlock must not run when
+// the mutex cannot be held (double unlock).
+//
+// DynamicEngine interleaves two mutexes (mu for edge state, refreshMu to
+// serialize rebuilds) and the tally cache has 64 lock stripes indexed by
+// shard — exactly the code where a forgotten unlock on one early-return
+// path deadlocks the whole server. The analysis is per-function and
+// per-mutex-key ("d.mu", "c.shards[i].mu"), using the pairing lattice
+// over the CFG, so branch- and loop-local lock/unlock pairs balance
+// exactly. Read locks (RLock/RUnlock) are tracked as a separate key:
+// RWMutex read and write sides pair independently.
+//
+// Functions using TryLock on a key are skipped for that key: whether the
+// lock is held becomes a data question the CFG cannot answer.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc: "every mu.Lock() must be paired with mu.Unlock() on all control-flow paths " +
+		"(defer it, or unlock before each exit), and a held mutex must not be re-locked",
+	Run: runLockBalance,
+}
+
+func runLockBalance(pass *Pass) error {
+	if !lockScope(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		eachFunc(f, func(name string, body *ast.BlockStmt) {
+			checkLockBalance(pass, body)
+		})
+	}
+	return nil
+}
+
+// lockScope: the serving packages whose mutexes guard the hot path.
+func lockScope(pkg *Package) bool {
+	if fixturePkg(pkg) {
+		return true
+	}
+	rel, ok := modRelPath(pkg)
+	return ok && (rel == "internal/core" || rel == "internal/server")
+}
+
+// lockKind distinguishes the exclusive and shared sides of a mutex.
+type lockKind uint8
+
+const (
+	lockExclusive lockKind = iota
+	lockShared
+)
+
+// mutexOp matches a niladic method call on a sync.Mutex/RWMutex-typed
+// receiver and returns the receiver's render key, the method name, and
+// the side it operates on.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key, method string, kind lockKind, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "TryLock":
+		kind = lockExclusive
+	case "RLock", "RUnlock", "TryRLock":
+		kind = lockShared
+	default:
+		return "", "", 0, false
+	}
+	if !isMutexExpr(info, sel.X) {
+		return "", "", 0, false
+	}
+	key = mutexKey(sel.X)
+	if key == "" {
+		return "", "", 0, false
+	}
+	return key, sel.Sel.Name, kind, true
+}
+
+// isMutexExpr reports whether e's type is sync.Mutex or sync.RWMutex
+// (possibly behind a pointer).
+func isMutexExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// mutexKey renders the receiver chain, extending exprKey with index
+// expressions so the cache's lock stripes ("c.shards[i].mu") get a key.
+// Distinct keys are assumed to be distinct mutexes; an unrenderable
+// receiver yields "" and is not tracked.
+func mutexKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := mutexKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		base := mutexKey(e.X)
+		idx := mutexKey(e.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.ParenExpr:
+		return mutexKey(e.X)
+	case *ast.StarExpr:
+		return mutexKey(e.X)
+	}
+	return ""
+}
+
+// trackedMutex is one (key, side) pair used in a function.
+type trackedMutex struct {
+	key  string
+	kind lockKind
+}
+
+func checkLockBalance(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Discover the mutexes this function locks; remember first-lock
+	// positions for exit-path reports and whether TryLock appears.
+	firstLock := map[trackedMutex]*ast.CallExpr{}
+	skip := map[trackedMutex]bool{}
+	order := []trackedMutex{}
+	sameFuncInspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, kind, ok := mutexOp(info, call)
+		if !ok {
+			return true
+		}
+		tm := trackedMutex{key, kind}
+		switch method {
+		case "TryLock", "TryRLock":
+			skip[tm] = true
+		case "Lock", "RLock":
+			if firstLock[tm] == nil {
+				firstLock[tm] = call
+				order = append(order, tm)
+			}
+		}
+		return true
+	})
+	if len(order) == 0 {
+		return
+	}
+
+	cfg := BuildCFG(body)
+	for _, tm := range order {
+		if skip[tm] {
+			continue
+		}
+		checkOneMutex(pass, info, cfg, tm, firstLock[tm])
+	}
+}
+
+// lockNames returns the lock/unlock method names for the side.
+func (k lockKind) lockName() string {
+	if k == lockShared {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (k lockKind) unlockName() string {
+	if k == lockShared {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func checkOneMutex(pass *Pass, info *types.Info, cfg *CFG, tm trackedMutex, first *ast.CallExpr) {
+	// A deferred unlock covers every exit (and pins the state held until
+	// then, which the re-lock check still sees).
+	deferred := false
+	for _, ds := range cfg.Defers {
+		if key, method, kind, ok := mutexOp(info, ds.Call); ok &&
+			key == tm.key && kind == tm.kind && method == tm.kind.unlockName() {
+			deferred = true
+		}
+	}
+
+	// ops walks one block's shallow nodes in order, invoking fn at each
+	// operation on this mutex with the state before the operation.
+	ops := func(b *CFGBlock, in pairState, fn func(call *ast.CallExpr, method string, before pairState)) pairState {
+		st := in
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue // runs at exit, accounted for via `deferred`
+			}
+			InspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key, method, kind, ok := mutexOp(info, call)
+				if !ok || key != tm.key || kind != tm.kind {
+					return true
+				}
+				if fn != nil {
+					fn(call, method, st)
+				}
+				switch method {
+				case tm.kind.lockName():
+					st = pairHeld
+				case tm.kind.unlockName():
+					st = pairFree
+				}
+				return true
+			})
+		}
+		return st
+	}
+
+	transfer := func(b *CFGBlock, in pairState) pairState { return ops(b, in, nil) }
+	in := ForwardFlow(cfg, pairFree, joinPair, transfer)
+
+	// Report pass: re-lock while held, unlock while provably free.
+	for _, b := range cfg.Blocks {
+		st, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		ops(b, st, func(call *ast.CallExpr, method string, before pairState) {
+			switch method {
+			case tm.kind.lockName():
+				if before == pairHeld {
+					pass.Reportf(call.Pos(),
+						"%s.%s() while %s is already held on every path here; this self-deadlocks",
+						tm.key, method, tm.key)
+				}
+			case tm.kind.unlockName():
+				if before == pairFree && !deferred {
+					pass.Reportf(call.Pos(),
+						"%s.%s() but %s cannot be held here; double unlock panics at runtime",
+						tm.key, method, tm.key)
+				}
+			}
+		})
+	}
+
+	if deferred {
+		return
+	}
+	// Exit check: the mutex must be free on every path into Exit.
+	reportedLines := map[int]bool{}
+	for _, pred := range cfg.Exit.Preds {
+		st, reachable := in[pred]
+		if !reachable {
+			continue
+		}
+		if out := transfer(pred, st); out == pairHeld || out == pairMixed {
+			line := pass.Pkg.Fset.Position(cfg.ExitPos(pred)).Line
+			if reportedLines[line] {
+				continue
+			}
+			reportedLines[line] = true
+			pass.Reportf(first.Pos(),
+				"%s.%s() here is not matched by %s() on the exit path at line %d; defer the unlock or unlock before returning",
+				tm.key, tm.kind.lockName(), tm.kind.unlockName(), line)
+		}
+	}
+}

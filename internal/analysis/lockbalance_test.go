@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockBalanceFixture(t *testing.T) {
+	runFixture(t, LockBalance, "lockbalance")
+}

@@ -2,20 +2,23 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 )
 
 // PoolBalance checks that every scratch-buffer acquire in internal/core
-// is paired with a release on every return path. The engine's sync.Pool
+// is paired with a release on every exit path. The engine's sync.Pool
 // of scratches is what makes queries allocation-free; a leaked scratch is
 // silent — the pool just allocates a fresh one — so steady-state
-// performance decays without any test failing. A release counts if it is
-// deferred, or if it lexically dominates the exit (appears earlier in the
-// same or an enclosing statement list). Function literals are analyzed as
-// independent functions, matching the worker-pool closures that each own
-// a scratch.
+// performance decays without any test failing.
+//
+// The check runs the pairing lattice (dataflow.go) over the function's
+// CFG: a deferred release covers every exit; otherwise each predecessor
+// of the synthetic exit block must end in the released state. Being
+// path-sensitive, a release inside the same branch or loop iteration as
+// its acquire balances out, where the old lexical-dominance walk could
+// not tell. Function literals are analyzed as independent functions,
+// matching the worker-pool closures that each own a scratch.
 var PoolBalance = &Analyzer{
 	Name: "poolbalance",
 	Doc: "every getScratch()/pool.Get() must have a matching putScratch()/pool.Put() " +
@@ -43,7 +46,9 @@ func corePackage(pkg *Package) bool {
 	return ok && rel == "internal/core"
 }
 
-// acquire is one `s := e.getScratch()` (or pool.Get()) in a function.
+// acquire is the first `s := e.getScratch()` (or pool.Get()) binding a
+// given object in a function; re-acquires into the same variable are
+// tracked by the flow, not reported separately.
 type acquire struct {
 	obj  types.Object
 	stmt *ast.AssignStmt
@@ -53,6 +58,7 @@ func checkPoolBalance(pass *Pass, body *ast.BlockStmt) {
 	info := pass.Pkg.Info
 
 	var acquires []acquire
+	seen := map[types.Object]bool{}
 	sameFuncInspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
@@ -62,15 +68,20 @@ func checkPoolBalance(pass *Pass, body *ast.BlockStmt) {
 			return true
 		}
 		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
-			if obj := assignee(info, id); obj != nil {
+			if obj := assignee(info, id); obj != nil && !seen[obj] {
+				seen[obj] = true
 				acquires = append(acquires, acquire{obj: obj, stmt: as})
 			}
 		}
 		return true
 	})
+	if len(acquires) == 0 {
+		return
+	}
 
+	cfg := BuildCFG(body)
 	for _, acq := range acquires {
-		checkOneAcquire(pass, info, body, acq)
+		checkOneAcquire(pass, info, cfg, acq)
 	}
 }
 
@@ -135,144 +146,68 @@ func isPoolExpr(info *types.Info, e ast.Expr) bool {
 	return key == "pool" || strings.HasSuffix(key, ".pool")
 }
 
-func checkOneAcquire(pass *Pass, info *types.Info, body *ast.BlockStmt, acq acquire) {
+func checkOneAcquire(pass *Pass, info *types.Info, cfg *CFG, acq acquire) {
 	// A deferred release anywhere in this function covers every exit.
-	deferred := false
-	sameFuncInspect(body, func(n ast.Node) bool {
-		if ds, ok := n.(*ast.DeferStmt); ok && isReleaseCall(info, ds.Call, acq.obj) {
-			deferred = true
+	// (The deferred call may sit inside a closure: defer func(){...}().)
+	for _, ds := range cfg.Defers {
+		if deferReleases(info, ds, acq.obj) {
+			return
 		}
-		return !deferred
-	})
-	if deferred {
-		return
 	}
 
-	// Otherwise every exit after the acquire needs a dominating release.
-	var releases []ast.Stmt
-	sameFuncInspect(body, func(n ast.Node) bool {
-		es, ok := n.(*ast.ExprStmt)
-		if !ok {
-			return true
+	// transfer walks one block's shallow nodes: an acquire assignment into
+	// the object sets held, a release call sets free.
+	transfer := func(b *CFGBlock, in pairState) pairState {
+		st := in
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue // defers run at exit, handled above
+			}
+			InspectShallow(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					if len(m.Lhs) == 1 && len(m.Rhs) == 1 && isAcquireCall(info, m.Rhs[0]) {
+						if id, ok := ast.Unparen(m.Lhs[0]).(*ast.Ident); ok && assignee(info, id) == acq.obj {
+							st = pairHeld
+						}
+					}
+				case *ast.CallExpr:
+					if isReleaseCall(info, m, acq.obj) {
+						st = pairFree
+					}
+				}
+				return true
+			})
 		}
-		if call, ok := es.X.(*ast.CallExpr); ok && isReleaseCall(info, call, acq.obj) {
-			releases = append(releases, es)
-		}
-		return true
-	})
+		return st
+	}
 
-	for _, exit := range collectExits(body, acq.stmt.End()) {
-		if !dominatedByRelease(body, releases, exit) {
+	in := ForwardFlow(cfg, pairFree, joinPair, transfer)
+	reported := map[int]bool{}
+	for _, pred := range cfg.Exit.Preds {
+		st, reachable := in[pred]
+		if !reachable {
+			continue
+		}
+		if out := transfer(pred, st); out == pairHeld || out == pairMixed {
+			line := pass.Pkg.Fset.Position(cfg.ExitPos(pred)).Line
+			if reported[line] {
+				continue
+			}
+			reported[line] = true
 			pass.Reportf(acq.stmt.Pos(),
 				"%s acquired here is not released on the exit path at line %d; defer the release or release before returning",
-				acq.obj.Name(), pass.Pkg.Fset.Position(exit.pos).Line)
+				acq.obj.Name(), line)
 		}
 	}
 }
 
-// exitPoint is a return statement or the implicit fall-through at the
-// function's closing brace (fallBlock non-nil).
-type exitPoint struct {
-	pos       token.Pos
-	ret       *ast.ReturnStmt
-	fallBlock *ast.BlockStmt
-}
-
-// collectExits returns every return statement after pos, plus the
-// function's closing fall-through when the body can reach it.
-func collectExits(body *ast.BlockStmt, pos token.Pos) []exitPoint {
-	var exits []exitPoint
-	sameFuncInspect(body, func(n ast.Node) bool {
-		if rs, ok := n.(*ast.ReturnStmt); ok && rs.Pos() > pos {
-			exits = append(exits, exitPoint{pos: rs.Pos(), ret: rs})
-		}
-		return true
-	})
-	if fallsThrough(body) {
-		exits = append(exits, exitPoint{pos: body.Rbrace, fallBlock: body})
-	}
-	return exits
-}
-
-// fallsThrough reports whether execution can reach the closing brace:
-// true unless the final statement is a return, an unconditional for-loop,
-// or a panic call.
-func fallsThrough(body *ast.BlockStmt) bool {
-	if len(body.List) == 0 {
-		return true
-	}
-	switch last := body.List[len(body.List)-1].(type) {
-	case *ast.ReturnStmt:
-		return false
-	case *ast.ForStmt:
-		return last.Cond != nil // `for {}` never falls through
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// dominatedByRelease reports whether some release lexically dominates the
-// exit: the release is a statement in a block whose statement list also
-// (transitively) contains the exit at a strictly later index.
-func dominatedByRelease(body *ast.BlockStmt, releases []ast.Stmt, exit exitPoint) bool {
-	for _, rel := range releases {
-		if blockDominates(body, rel, exit) {
-			return true
-		}
-	}
-	return false
-}
-
-// blockDominates walks every block under body looking for one whose list
-// contains rel directly and the exit inside a strictly later statement.
-func blockDominates(body *ast.BlockStmt, rel ast.Stmt, exit exitPoint) bool {
+// deferReleases reports whether the deferred statement releases obj,
+// either directly (defer e.putScratch(s)) or inside a deferred closure.
+func deferReleases(info *types.Info, ds *ast.DeferStmt, obj types.Object) bool {
 	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		blk, ok := n.(*ast.BlockStmt)
-		if !ok {
-			return true
-		}
-		relIdx := -1
-		for i, st := range blk.List {
-			if st == rel {
-				relIdx = i
-				break
-			}
-		}
-		if relIdx < 0 {
-			return true
-		}
-		// The implicit fall-through exit of this block counts as
-		// dominated when the release sits in its top-level list.
-		if exit.fallBlock == blk {
-			found = true
-			return false
-		}
-		if exit.ret != nil {
-			for _, st := range blk.List[relIdx+1:] {
-				if containsNode(st, exit.ret) {
-					found = true
-					break
-				}
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-func containsNode(root ast.Stmt, target ast.Node) bool {
-	found := false
-	ast.Inspect(root, func(n ast.Node) bool {
-		if n == target {
+	ast.Inspect(ds, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isReleaseCall(info, call, obj) {
 			found = true
 		}
 		return !found

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSealWriteFixture(t *testing.T) {
+	runFixture(t, SealWrite, "sealwrite")
+}

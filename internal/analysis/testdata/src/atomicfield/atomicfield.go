@@ -1,0 +1,94 @@
+// Package atomictest is a simlint fixture: fields published or mutated
+// via sync/atomic must never be read or written plainly.
+package atomictest
+
+import "sync/atomic"
+
+type snapshot struct{ id int64 }
+
+type engine struct {
+	snap    atomic.Pointer[snapshot]
+	pending atomic.Bool
+	hits    int64 // plain word, accessed via atomic.AddInt64 below
+	name    string
+	slots   []atomic.Pointer[snapshot]
+}
+
+func (e *engine) okAtomicAPI() *snapshot {
+	e.pending.Store(true)
+	if e.pending.Load() {
+		return e.snap.Load()
+	}
+	return nil
+}
+
+func (e *engine) okAddressTaken() *atomic.Bool { return &e.pending }
+
+func (e *engine) okPlainField() string { return e.name }
+
+func (e *engine) badPlainRead() bool {
+	var b atomic.Bool
+	b = e.pending // want "plain read of atomic field pending"
+	return b.Load()
+}
+
+func (e *engine) badPlainStore() {
+	var b atomic.Bool
+	e.pending = b // want "plain store to atomic field pending"
+}
+
+func (e *engine) okSlotAPI(i int, s *snapshot) *snapshot {
+	e.slots[i].Store(s)
+	return e.slots[i].Load()
+}
+
+func (e *engine) okSlotHeader() int {
+	e.slots = make([]atomic.Pointer[snapshot], 8)
+	return len(e.slots)
+}
+
+func (e *engine) badSlotCopy(i int) *snapshot {
+	p := e.slots[i] // want "plain read of atomic field slots"
+	return p.Load()
+}
+
+func (e *engine) badSlotRange() int {
+	n := 0
+	for _, p := range e.slots { // want "ranging over atomic slice field slots"
+		if p.Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func atomicHits(e *engine) int64 {
+	return atomic.AddInt64(&e.hits, 1)
+}
+
+func (e *engine) badPlainHits() int64 {
+	return e.hits // want "accessed via sync/atomic elsewhere"
+}
+
+// newEngine initializes atomic state on a value nothing else can see yet:
+// the fresh-local constructor exemption.
+func newEngine() *engine {
+	e := &engine{name: "fresh"}
+	e.hits = 0
+	e.slots = make([]atomic.Pointer[snapshot], 4)
+	return e
+}
+
+// newSharedEngine hands the value to a goroutine before finishing
+// initialization, so the exemption does not apply.
+func newSharedEngine() *engine {
+	e := &engine{}
+	go atomicHits(e)
+	e.hits = 0 // want "accessed via sync/atomic elsewhere"
+	return e
+}
+
+func (e *engine) suppressed() int64 {
+	//lint:ignore atomicfield fixture: single-threaded test helper
+	return e.hits
+}

@@ -1,0 +1,130 @@
+// Package ctxtest is a simlint fixture: cancellation must flow from a
+// ctx-receiving function into everything it calls, and serving loops
+// must be stoppable.
+package ctxtest
+
+import (
+	"context"
+	"time"
+)
+
+type ctxKey struct{}
+
+type index struct{ n int }
+
+func (ix *index) topKCtx(ctx context.Context, u int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return u % ix.n
+}
+
+func (ix *index) topK(u int) int { return u % ix.n }
+
+// okNonCtxWrapper has no ctx parameter: the one place a root context
+// legitimately comes from.
+func (ix *index) okNonCtxWrapper(u int) int {
+	return ix.topKCtx(context.Background(), u)
+}
+
+func (ix *index) okThread(ctx context.Context, u int) int {
+	return ix.topKCtx(ctx, u)
+}
+
+// okDerived: a context derived from ctx still carries its cancellation.
+func (ix *index) okDerived(ctx context.Context, u int) int {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return ix.topKCtx(tctx, u)
+}
+
+// okRebound: rebinding ctx to a derived value keeps the chain.
+func (ix *index) okRebound(ctx context.Context, u int) int {
+	ctx = context.WithValue(ctx, ctxKey{}, u)
+	return ix.topKCtx(ctx, u)
+}
+
+// okNoCtxCallee: callees without a context parameter are unconstrained.
+func (ix *index) okNoCtxCallee(ctx context.Context, u int) int {
+	_ = ctx
+	return ix.topK(u)
+}
+
+func (ix *index) badBackground(ctx context.Context, u int) int {
+	return ix.topKCtx(context.Background(), u) // want "synthesized in a function that already receives"
+}
+
+func (ix *index) badRebound(ctx context.Context, u int) int {
+	c := context.Background() // want "synthesized in a function that already receives"
+	return ix.topKCtx(c, u)   // want "does not derive"
+}
+
+// badParamRebound: reassigning the parameter itself severs the chain.
+func (ix *index) badParamRebound(ctx context.Context, u int) int {
+	ctx = context.Background() // want "synthesized in a function that already receives"
+	return ix.topKCtx(ctx, u)  // want "does not derive"
+}
+
+// badPathMixed: one path severs the chain, so the call site may run with
+// an unrelated context.
+func (ix *index) badPathMixed(ctx context.Context, u int, offline bool) int {
+	c := ctx
+	if offline {
+		c = context.Background() // want "synthesized in a function that already receives"
+	}
+	return ix.topKCtx(c, u) // want "does not derive"
+}
+
+// badClosure: a closure inside a ctx-receiving function is held to the
+// same contract — the caller's ctx is right there to use.
+func (ix *index) badClosure(ctx context.Context, u int) int {
+	f := func() int {
+		return ix.topKCtx(context.Background(), u) // want "synthesized in a function that already receives"
+	}
+	return f()
+}
+
+// pump is an unstoppable serving loop: no ctx, no done channel.
+func pump(ch chan int) {
+	for { // want "never checks ctx.Err"
+		ch <- 1
+	}
+}
+
+// okDoneLoop: the done-channel idiom (select with an escaping receive).
+func okDoneLoop(ch chan int, done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// okCtxLoop consults ctx directly.
+func okCtxLoop(ctx context.Context, ch chan int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		ch <- 1
+	}
+}
+
+// okIdleLoop does no work, so there is nothing to cancel.
+func okIdleLoop() {
+	n := 0
+	for {
+		n++
+		_ = n
+	}
+}
+
+func suppressedPump(ch chan int) {
+	//lint:ignore ctxflow fixture: loop ends when the consumer closes ch
+	for {
+		ch <- 1
+	}
+}

@@ -1,0 +1,131 @@
+// Package locktest is a simlint fixture: every Lock paired with an
+// Unlock on all CFG paths, no re-lock while held, no double unlock.
+package locktest
+
+import "sync"
+
+type stripe struct {
+	mu sync.Mutex
+	n  int
+}
+
+type store struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	shards [4]stripe
+	val    int
+}
+
+func (s *store) okDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.val
+}
+
+func (s *store) okLinear() int {
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) okBranchBalanced(fast bool) int {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.val
+	s.mu.Unlock()
+	return v
+}
+
+// okLoopBreakUnlock holds the lock across the loop and releases only on
+// the break path — the only way out, so every exit is balanced.
+func (s *store) okLoopBreakUnlock(xs []int) int {
+	s.mu.Lock()
+	i := 0
+	for {
+		if i >= len(xs) {
+			s.mu.Unlock()
+			break
+		}
+		s.val += xs[i]
+		i++
+	}
+	return s.val
+}
+
+func (s *store) leakEarlyReturn(fail bool) int {
+	s.mu.Lock() // want "not matched by Unlock"
+	if fail {
+		return -1
+	}
+	s.mu.Unlock()
+	return s.val
+}
+
+func (s *store) leakLoopFallout(xs []int) int {
+	s.mu.Lock() // want "not matched by Unlock"
+	for i := 0; i < len(xs); i++ {
+		if xs[i] < 0 {
+			s.mu.Unlock()
+			return -1
+		}
+	}
+	return s.val
+}
+
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "self-deadlocks"
+	s.mu.Unlock()
+}
+
+func (s *store) doubleUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock() // want "double unlock"
+}
+
+// okTwoMutexes: distinct mutexes interleave freely.
+func (s *store) okTwoMutexes() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.mu.Lock()
+	v := s.val
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) leakReadSide() int {
+	s.rw.RLock() // want "not matched by RUnlock"
+	return s.val
+}
+
+// okStripe: lock stripes are tracked by their rendered index key.
+func (s *store) okStripe(i int) int {
+	s.shards[i].mu.Lock()
+	n := s.shards[i].n
+	s.shards[i].mu.Unlock()
+	return n
+}
+
+func (s *store) leakStripe(i int) {
+	s.shards[i].mu.Lock() // want "not matched by Unlock"
+	s.shards[i].n++
+}
+
+// okTryLock: Try* makes held-ness a data question; the key is skipped.
+func (s *store) okTryLock() bool {
+	if s.mu.TryLock() {
+		s.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+func (s *store) suppressedHandoff() {
+	//lint:ignore lockbalance fixture: lock intentionally handed to the caller
+	s.mu.Lock()
+}

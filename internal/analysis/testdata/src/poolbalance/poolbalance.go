@@ -67,3 +67,40 @@ func (e *engine) suppressed() *scratch {
 	s := e.getScratch()
 	return s
 }
+
+// okLoopPerIteration acquires and releases inside each iteration; the
+// old lexical-dominance walk flagged this, the CFG sees the balance.
+func (e *engine) okLoopPerIteration(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		s := e.getScratch()
+		total += len(s.buf)
+		e.putScratch(s)
+	}
+	return total
+}
+
+// okBranchPaired acquires and releases entirely inside one branch; the
+// path that never acquires owes nothing.
+func (e *engine) okBranchPaired(big bool) int {
+	if big {
+		s := e.getScratch()
+		n := len(s.buf)
+		e.putScratch(s)
+		return n
+	}
+	return 0
+}
+
+// leakLoopConditional releases only on the found path; falling out of
+// the loop still holds the scratch.
+func (e *engine) leakLoopConditional(xs []int) int {
+	s := e.getScratch() // want "not released"
+	for _, x := range xs {
+		if x > 0 {
+			e.putScratch(s)
+			return x
+		}
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+// Package sealtest is a simlint fixture: Snapshot fields are immutable
+// after Seal(); only the Engine builder (or the allowlisted construction
+// files) may write them.
+package sealtest
+
+type snapStats struct{ bytes int }
+
+type Snapshot struct {
+	gamma  []float32
+	idx    []uint32
+	sealed bool
+	stats  snapStats
+}
+
+type Engine struct{ *Snapshot }
+
+// okBuilderWrites: every form of write is fine through the Engine.
+func (e *Engine) okBuilderWrites(n int) {
+	e.gamma = make([]float32, n)
+	e.gamma[0] = 1
+	e.idx = append(e.idx, uint32(n))
+	e.stats.bytes = n
+	e.sealed = true
+}
+
+func okBuilderVar(e *Engine, i int) {
+	e.idx[i] = 0
+}
+
+func (s *Snapshot) badMethodWrite() {
+	s.sealed = false // want "write to Snapshot.sealed"
+}
+
+func badSliceStore(s *Snapshot, i int) {
+	s.gamma[i] = 0 // want "store through Snapshot.gamma"
+}
+
+func badViaAlias(e *Engine) {
+	snap := e.Snapshot
+	snap.gamma = nil // want "write to Snapshot.gamma"
+}
+
+func badNestedField(s *Snapshot, n int) {
+	s.stats.bytes = n // want "write to Snapshot.stats"
+}
+
+func badIncDec(s *Snapshot) {
+	s.stats.bytes++ // want "write to Snapshot.stats"
+}
+
+// okRead: reading a snapshot anywhere is the whole point.
+func okRead(s *Snapshot, i int) float32 {
+	if s.sealed {
+		return s.gamma[i]
+	}
+	return 0
+}
+
+func suppressedRepair(s *Snapshot) {
+	//lint:ignore sealwrite fixture: test-only invariant repair
+	s.sealed = true
+}

@@ -1,0 +1,12 @@
+package sealtest
+
+// newSnapshot initializes fields through a *Snapshot receiver before the
+// value is published — snapshot.go is an allowlisted construction file,
+// mirroring internal/core/snapshot.go.
+func newSnapshot(n int) *Snapshot {
+	sn := &Snapshot{}
+	sn.gamma = make([]float32, n)
+	sn.idx = make([]uint32, 0, n)
+	sn.sealed = false
+	return sn
+}

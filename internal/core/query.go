@@ -287,6 +287,7 @@ func (e *Snapshot) scoreBlockParallel(block []boundedCand, scores []candScore, u
 			defer wg.Done()
 			s := e.getScratch()
 			defer e.putScratch(s)
+			//lint:ignore ctxflow the loop is bounded by len(block) (≤64 candidates) and exits within one candidate's scoring; the caller checks ctx between blocks, so a per-iteration check here would only add atomic traffic to the hot path
 			for {
 				j := int(cursor.Add(1)) - 1
 				if j >= len(block) {

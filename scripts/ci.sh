@@ -30,7 +30,7 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 echo "==> simlint ./..."
-go run ./cmd/simlint ./...
+go run ./cmd/simlint -baseline lint.baseline.json ./...
 
 # One iteration of every benchmark: catches bit-rot in bench-only code
 # paths without paying for real measurements.
