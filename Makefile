@@ -28,19 +28,20 @@ race:
 	$(GO) test -race ./...
 
 # simlint: norand, mapiter, seedmix, poolbalance, gospawn, atomicfield,
-# lockbalance, ctxflow, sealwrite (see internal/analysis). Gated against
-# the committed baseline: only NEW diagnostics fail; accepted debt lives
-# in lint.baseline.json (regenerate with -write-baseline).
+# lockbalance, ctxflow, sealwrite, unsafeconfine (see internal/analysis).
+# Gated against the committed baseline: only NEW diagnostics fail;
+# accepted debt lives in lint.baseline.json (regenerate with
+# -write-baseline).
 lint:
 	$(GO) run ./cmd/simlint -baseline lint.baseline.json ./...
 
 # Query hot-path microbenchmarks (the 100k-vertex engine build takes a
 # couple of minutes the first time).
 bench:
-	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|TopKDuringRefresh|TopKZipfThroughput' -run - ./internal/core
+	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|ColdStartLoad|TopKDuringRefresh|TopKZipfThroughput' -run - ./internal/core
 
 # Regenerate the committed benchmark snapshot.
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
-	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|TopKDuringRefresh|TopKZipfThroughput' -run - ./internal/core | \
+	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|ColdStartLoad|TopKDuringRefresh|TopKZipfThroughput' -run - ./internal/core | \
 		/tmp/benchjson -meta pkg=internal/core -o BENCH_core.json

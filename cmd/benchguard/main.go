@@ -1,0 +1,53 @@
+// Command benchguard gates CI on benchmark regressions: it reads
+// `go test -bench` output on stdin, compares one benchmark's ns/op
+// against a committed BENCH_*.json snapshot, and exits nonzero when the
+// measurement exceeds the snapshot by more than -max-ratio.
+//
+//	go test -run - -bench 'WalkStep$' -benchtime 100x ./internal/core | \
+//	    benchguard -baseline BENCH_core.json -name BenchmarkWalkStep -max-ratio 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	baselinePath := flag.String("baseline", "", "committed BENCH_*.json snapshot (required)")
+	name := flag.String("name", "", "benchmark to gate, e.g. BenchmarkWalkStep (required)")
+	maxRatio := flag.Float64("max-ratio", 2, "fail when current ns/op exceeds snapshot ns/op by this factor")
+	flag.Parse()
+	if *baselinePath == "" || *name == "" {
+		log.Fatal("-baseline and -name are required")
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var baseline bench.BenchReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		log.Fatalf("parsing %s: %v", *baselinePath, err)
+	}
+	current, err := bench.ParseGoBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.GuardRatio(baseline, current, *name, *maxRatio); err != nil {
+		log.Fatal(err)
+	}
+	cur := 0.0
+	for _, r := range current {
+		if r.Name == *name {
+			cur = r.NsPerOp
+		}
+	}
+	fmt.Printf("benchguard: %s within %.1fx of snapshot (%.1f ns/op)\n", *name, *maxRatio, cur)
+}

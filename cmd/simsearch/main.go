@@ -44,12 +44,18 @@ func main() {
 	exactCheck := flag.Bool("exact", false, "also print the deterministic-series ranking for comparison")
 	saveIndex := flag.String("save-index", "", "write the preprocess results to this file after building")
 	loadIndex := flag.String("load-index", "", "reuse preprocess results from this file instead of rebuilding")
+	useMmap := flag.Bool("mmap", false, "memory-map -load-index instead of streaming it; the graph is read from the index file (-graph ignored)")
 	interactive := flag.Bool("i", false, "interactive mode: read queries from stdin")
 	flag.Parse()
 
+	if *useMmap && *loadIndex == "" {
+		log.Fatal("-mmap requires -load-index")
+	}
 	var g *simrank.Graph
 	var err error
-	if *graphPath != "" {
+	if *useMmap {
+		// The mapped index embeds the graph CSR; nothing else to read.
+	} else if *graphPath != "" {
 		g, err = simrank.LoadEdgeListFile(*graphPath)
 	} else {
 		g, err = simrank.LoadEdgeList(os.Stdin)
@@ -57,7 +63,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	if g != nil {
+		fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	}
 
 	opts := simrank.DefaultOptions()
 	opts.DecayFactor = *c
@@ -67,7 +75,19 @@ func main() {
 	opts.Exhaustive = *exhaustive
 
 	var idx *simrank.Index
-	if *loadIndex != "" {
+	if *useMmap {
+		start := time.Now()
+		var closer func() error
+		idx, closer, err = simrank.LoadIndexMmap(*loadIndex, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closer()
+		g = idx.Graph()
+		fmt.Printf("mapped index %s in %v: %d vertices, %d edges (%d KB)\n",
+			*loadIndex, time.Since(start).Round(time.Millisecond),
+			g.NumVertices(), g.NumEdges(), idx.Stats().IndexBytes/1024)
+	} else if *loadIndex != "" {
 		f, err := os.Open(*loadIndex)
 		if err != nil {
 			log.Fatal(err)

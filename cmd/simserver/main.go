@@ -38,8 +38,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simserver: ")
 
-	graphPath := flag.String("graph", "", "edge-list file (required)")
+	graphPath := flag.String("graph", "", "edge-list file (required unless -mmap)")
 	indexPath := flag.String("load-index", "", "optional pre-built index file (see simsearch -save-index)")
+	useMmap := flag.Bool("mmap", false, "memory-map -load-index instead of streaming it: zero-copy load, graph read from the index file itself")
 	addr := flag.String("addr", ":8080", "listen address")
 	c := flag.Float64("c", 0.6, "decay factor")
 	theta := flag.Float64("theta", 0.01, "score threshold")
@@ -49,14 +50,21 @@ func main() {
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
-	if *graphPath == "" {
+	if *useMmap && *indexPath == "" {
+		log.Fatal("-mmap requires -load-index")
+	}
+	var g *simrank.Graph
+	if *graphPath != "" {
+		var err error
+		g, err = simrank.LoadEdgeListFile(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("graph: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	} else if !*useMmap {
+		// With -mmap the graph comes out of the index file itself.
 		log.Fatal("-graph is required")
 	}
-	g, err := simrank.LoadEdgeListFile(*graphPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("graph: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
 
 	opts := simrank.DefaultOptions()
 	opts.DecayFactor = *c
@@ -84,10 +92,27 @@ func main() {
 	})
 
 	buildDone := make(chan error, 1)
+	var munmap atomic.Pointer[func() error]
 	go func() {
 		var idx *simrank.Index
 		start := time.Now()
-		if *indexPath != "" {
+		if *useMmap {
+			var closer func() error
+			var err error
+			idx, closer, err = simrank.LoadIndexMmap(*indexPath, opts)
+			if err != nil {
+				buildDone <- err
+				return
+			}
+			munmap.Store(&closer)
+			if g != nil && (idx.Graph().NumVertices() != g.NumVertices() || idx.Graph().NumEdges() != g.NumEdges()) {
+				buildDone <- fmt.Errorf("-graph (%d vertices, %d edges) does not match the mapped index (%d vertices, %d edges)",
+					g.NumVertices(), g.NumEdges(), idx.Graph().NumVertices(), idx.Graph().NumEdges())
+				return
+			}
+			log.Printf("mapped index in %v: %d vertices, %d edges",
+				time.Since(start).Round(time.Millisecond), idx.Graph().NumVertices(), idx.Graph().NumEdges())
+		} else if *indexPath != "" {
 			f, err := os.Open(*indexPath)
 			if err != nil {
 				buildDone <- err
@@ -149,5 +174,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatal(err)
+	}
+	// All in-flight queries have drained; the mapping can go.
+	if c := munmap.Load(); c != nil {
+		if err := (*c)(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -25,6 +25,21 @@ func LoadIndex(g *Graph, opts Options, r io.Reader) (*Index, error) {
 	return &Index{g: g, e: e.Seal()}, nil
 }
 
+// LoadIndexMmap memory-maps a version-3 index file and serves queries
+// directly from the mapping with zero payload copies: the graph is
+// reconstructed from the CSR sections embedded in the file, so no
+// separate edge list is needed and cold start is independent of index
+// size. The returned closer unmaps the file; it must not be called
+// while queries are in flight. Unix only — other platforms return an
+// error, and callers should fall back to LoadIndex.
+func LoadIndexMmap(path string, opts Options) (*Index, func() error, error) {
+	e, closer, err := core.LoadIndexMmap(path, opts.toParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Index{g: &Graph{g: e.Graph()}, e: e.Seal()}, closer, nil
+}
+
 // DynamicIndex is a similarity-search index over a mutable edge set.
 // Queries are served lock-free from an immutable published snapshot, so
 // any number of goroutines may query and update concurrently without

@@ -18,6 +18,7 @@ func Analyzers() []*Analyzer {
 		LockBalance,
 		CtxFlow,
 		SealWrite,
+		UnsafeConfine,
 	}
 }
 

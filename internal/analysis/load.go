@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -140,17 +141,28 @@ func hasGoFiles(dir string) bool {
 		return false
 	}
 	for _, e := range ents {
-		if goSource(e) {
+		if goSource(dir, e) {
 			return true
 		}
 	}
 	return false
 }
 
-func goSource(e os.DirEntry) bool {
+// buildCtx decides which files belong to a package on the host
+// platform, exactly as `go build` would: //go:build constraint lines
+// and GOOS/GOARCH filename suffixes both count. Without this,
+// platform-gated pairs like mmap_unix.go/mmap_stub.go would land in
+// one package and type-check as duplicate declarations.
+var buildCtx = build.Default
+
+func goSource(dir string, e os.DirEntry) bool {
 	name := e.Name()
-	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
-		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+	if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+		strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	ok, err := buildCtx.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // LoadDir parses and type-checks the single package in dir (test files
@@ -183,7 +195,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, e := range ents {
-		if !goSource(e) {
+		if !goSource(dir, e) {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

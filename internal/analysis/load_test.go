@@ -49,7 +49,7 @@ func TestLoadModule(t *testing.T) {
 }
 
 // TestRunCleanOnModule is the in-process version of the make-check gate:
-// all nine analyzers must be clean over the whole repository.
+// every analyzer must be clean over the whole repository.
 func TestRunCleanOnModule(t *testing.T) {
 	loader, err := NewLoader(".")
 	if err != nil {

@@ -1,0 +1,20 @@
+package unsafeconfinetest
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// mapWords is the blessed shape: a *mmap*.go file may reinterpret
+// mapped bytes and call the mapping syscalls freely.
+func mapWords(fd, n int) ([]uint32, error) {
+	data, err := syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&data[0])), n/4), nil
+}
+
+func unmapWords(b []byte) error {
+	return syscall.Munmap(b)
+}

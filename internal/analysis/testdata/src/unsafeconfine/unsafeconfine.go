@@ -1,0 +1,42 @@
+// Package unsafeconfinetest is a simlint fixture: unsafe imports and
+// mapping syscalls outside the mmap loader files.
+package unsafeconfinetest
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+	"unsafe" // want "import of unsafe outside an mmap loader file"
+
+	_ "golang.org/x/sys/unix" // want "import of golang.org/x/sys/unix outside an mmap loader file"
+)
+
+func size() uintptr {
+	var x uint32
+	return unsafe.Sizeof(x)
+}
+
+func mapFile(fd, n int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_SHARED) // want "syscall.Mmap outside an mmap loader file"
+}
+
+func release(b []byte) error {
+	return syscall.Munmap(b) // want "syscall.Munmap outside an mmap loader file"
+}
+
+// okSignals: a plain syscall import for signal handling is fine — only
+// the mapping family is confined.
+func okSignals() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM)
+}
+
+func suppressed(b []byte) error {
+	//lint:ignore unsafeconfine fixture: reasoned suppression is honoured
+	return syscall.Munmap(b)
+}
+
+func wrongRuleDoesNotSuppress(b []byte) error {
+	//lint:ignore norand a different rule's directive must not hide this
+	return syscall.Munmap(b) // want "syscall.Munmap outside an mmap loader file"
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+func TestUnsafeConfineFixture(t *testing.T) {
+	runFixture(t, UnsafeConfine, "unsafeconfine")
+}
+
+func TestUnsafeConfineAllowedFiles(t *testing.T) {
+	cases := []struct {
+		file string
+		want bool
+	}{
+		{"/root/repo/internal/core/mmap_unix.go", true},
+		{"/root/repo/internal/core/mmap_stub.go", true},
+		{"/root/repo/internal/core/persist.go", false},
+		{"/root/repo/internal/graph/alias.go", false},
+		{"some/dir/snapshot_mmap_linux.go", true},
+		{"some/dir/mapper.go", false},
+	}
+	for _, c := range cases {
+		if got := unsafeConfineAllowed(c.file); got != c.want {
+			t.Errorf("unsafeConfineAllowed(%s) = %v, want %v", c.file, got, c.want)
+		}
+	}
+}

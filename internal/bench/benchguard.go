@@ -1,0 +1,40 @@
+package bench
+
+import "fmt"
+
+// GuardRatio compares the current measurement of one benchmark against
+// the committed snapshot and fails when ns/op regressed by more than
+// maxRatio. It gates only the named benchmark: the snapshot holds
+// numbers from a quiet dedicated box, so a loose multiplicative bound
+// on the hottest kernel catches real regressions (a lost optimization,
+// an accidental allocation) without flaking on scheduler noise.
+func GuardRatio(baseline BenchReport, current []BenchResult, name string, maxRatio float64) error {
+	var base *BenchResult
+	for i := range baseline.Results {
+		if baseline.Results[i].Name == name {
+			base = &baseline.Results[i]
+			break
+		}
+	}
+	if base == nil {
+		return fmt.Errorf("bench: %s not present in the committed snapshot", name)
+	}
+	if base.NsPerOp <= 0 {
+		return fmt.Errorf("bench: %s has non-positive snapshot ns/op (%v)", name, base.NsPerOp)
+	}
+	var cur *BenchResult
+	for i := range current {
+		if current[i].Name == name {
+			cur = &current[i]
+			break
+		}
+	}
+	if cur == nil {
+		return fmt.Errorf("bench: %s missing from the current run", name)
+	}
+	if ratio := cur.NsPerOp / base.NsPerOp; ratio > maxRatio {
+		return fmt.Errorf("bench: %s regressed %.2fx over the committed snapshot (%.1f ns/op now, %.1f committed, limit %.1fx)",
+			name, ratio, cur.NsPerOp, base.NsPerOp, maxRatio)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func guardBaseline() BenchReport {
+	return BenchReport{Results: []BenchResult{
+		{Name: "BenchmarkTopK", NsPerOp: 450000},
+		{Name: "BenchmarkWalkStep", NsPerOp: 300},
+	}}
+}
+
+func TestGuardRatioPasses(t *testing.T) {
+	cur := []BenchResult{{Name: "BenchmarkWalkStep", NsPerOp: 550}}
+	if err := GuardRatio(guardBaseline(), cur, "BenchmarkWalkStep", 2); err != nil {
+		t.Fatalf("1.83x must pass a 2x gate: %v", err)
+	}
+}
+
+func TestGuardRatioFailsOnRegression(t *testing.T) {
+	cur := []BenchResult{{Name: "BenchmarkWalkStep", NsPerOp: 650}}
+	err := GuardRatio(guardBaseline(), cur, "BenchmarkWalkStep", 2)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("2.17x must fail a 2x gate, got %v", err)
+	}
+}
+
+func TestGuardRatioMissingEntries(t *testing.T) {
+	cur := []BenchResult{{Name: "BenchmarkWalkStep", NsPerOp: 100}}
+	if err := GuardRatio(guardBaseline(), cur, "BenchmarkNoSuch", 2); err == nil ||
+		!strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("unknown snapshot name: got %v", err)
+	}
+	if err := GuardRatio(guardBaseline(), nil, "BenchmarkWalkStep", 2); err == nil ||
+		!strings.Contains(err.Error(), "current run") {
+		t.Fatalf("missing current measurement: got %v", err)
+	}
+	bad := BenchReport{Results: []BenchResult{{Name: "BenchmarkWalkStep", NsPerOp: 0}}}
+	if err := GuardRatio(bad, cur, "BenchmarkWalkStep", 2); err == nil {
+		t.Fatal("zero snapshot ns/op must error")
+	}
+}

@@ -36,11 +36,12 @@ func (e *Engine) computeGammaAll() {
 // for each step t, γ(v,t)² is estimated by Σ_w D_ww·(count_w/R)².
 func (e *Engine) computeGammaInto(v uint32, R int, r *rng.Source, s *scratch, out []float32) {
 	pos := s.walkBuf(R)
+	lane := s.laneBuf(R)
 	resetWalks(pos, v)
 	invR2 := 1.0 / (float64(R) * float64(R))
 	for t := 0; t < e.p.T; t++ {
 		if t > 0 {
-			stepWalks(e.g, r, pos)
+			stepWalks(e.wt, r, pos, lane)
 		}
 		s.beginTally()
 		for _, w := range pos {
@@ -141,11 +142,12 @@ func (e *Snapshot) sampleWalkDistInto(wd *walkDist, s *scratch, u uint32, R int,
 	T := e.p.T
 	wd.reset(T)
 	pos := s.walkBuf(R)
+	lane := s.laneBuf(R)
 	resetWalks(pos, u)
 	invR := 1.0 / float64(R)
 	for t := 0; t < T; t++ {
 		if t > 0 {
-			stepWalks(e.g, r, pos)
+			stepWalks(e.wt, r, pos, lane)
 		}
 		s.beginTally()
 		for _, w := range pos {

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"math"
+	"os"
+	"path/filepath"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -74,15 +76,98 @@ func BenchmarkWalkStep(b *testing.B) {
 	s := e.getScratch()
 	defer e.putScratch(s)
 	pos := s.walkBuf(e.p.RScore)
+	lane := s.laneBuf(e.p.RScore)
 	resetWalks(pos, 42)
 	r := rng.New(1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if stepWalks(e.g, r, pos) == 0 {
+		if stepWalks(e.wt, r, pos, lane) == 0 {
 			resetWalks(pos, 42)
 		}
 	}
+}
+
+// BenchmarkWalkStepDegree isolates the walk kernel across in-degree
+// regimes: uniform rows keep the rejection loop's threshold branch
+// predictable, the power-law mix stresses it with varying bounds, and
+// the high-degree graph makes every adjacency access a fresh cache
+// line. Walk death differs per regime, so live-lane compaction is
+// exercised at different densities too.
+func BenchmarkWalkStepDegree(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"uniform", graph.ErdosRenyi(20000, 8, 1)},
+		{"powerlaw", graph.PreferentialAttachment(20000, 8, 0.3, 1)},
+		{"highdeg", graph.ErdosRenyi(4000, 128, 1)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			wt := tc.g.BuildWalkTable()
+			R := DefaultParams().RScore
+			pos := make([]uint32, R)
+			lane := make([]uint64, 2*min(R, graph.StepLane))
+			resetWalks(pos, 42)
+			r := rng.New(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if wt.StepWalks(r, pos, lane) == 0 {
+					resetWalks(pos, 42)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdStartLoad compares the two restart paths over the same
+// saved snapshot: stream decodes and checksums every section, mmap
+// verifies the header and adopts page-cache-backed views. The gap is
+// the cost a serving process pays before its first query.
+func BenchmarkColdStartLoad(b *testing.B) {
+	g := graph.CopyingModel(20000, 8, 0.3, 1)
+	p := DefaultParams()
+	p.Seed = 1
+	e := Build(g, p)
+	path := filepath.Join(b.TempDir(), "index.simr")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.SaveIndex(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := LoadIndex(g, p, f); err != nil {
+				b.Fatal(err)
+			}
+			f.Close()
+		}
+	})
+	b.Run("mmap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			em, closer, err := LoadIndexMmap(path, p)
+			if err != nil {
+				b.Skipf("mmap load unavailable: %v", err)
+			}
+			_ = em
+			if err := closer(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkSinglePairAlg1(b *testing.B) {

@@ -340,8 +340,13 @@ func (d *DynamicEngine) buildSnapshot(old *Snapshot, g *graph.Graph, dirty map[u
 	ne := New(g, d.p)
 	ne.gamma = cloneFloat32(old.gamma)
 	T := ne.p.T
+	// Expand the old CSR rows into a row view; untouched rows alias the
+	// old snapshot's storage (it is immutable) and only affected rows
+	// are rebuilt before re-flattening.
 	ri := make([][]uint32, d.n)
-	copy(ri, old.idx.right)
+	for v := range ri {
+		ri[v] = old.idx.rightRow(uint32(v))
+	}
 	r := rng.New(ne.p.Seed)
 	s := ne.getScratch()
 	for v := range affected {
@@ -353,8 +358,7 @@ func (d *DynamicEngine) buildSnapshot(old *Snapshot, g *graph.Graph, dirty map[u
 		ri[v] = ne.buildIndexEntry(v, r, s.indexScratch(T, ne.p.Q))
 	}
 	ne.putScratch(s)
-	idx := &candidateIndex{right: ri}
-	idx.buildInverted(d.n)
+	idx := indexFromRows(ri)
 	ne.idx = idx
 	ne.stats = old.stats
 	ne.stats.IndexBytes = int64(len(ne.gamma))*4 + idx.bytes()

@@ -123,8 +123,8 @@ func TestDynamicMatchesFullRebuild(t *testing.T) {
 			t.Fatalf("gamma[%d]: incremental %v vs fresh %v", i, eng.gamma[i], fresh.gamma[i])
 		}
 	}
-	for v := range fresh.idx.right {
-		a, b := fresh.idx.right[v], eng.idx.right[v]
+	for v := 0; v < fresh.g.N(); v++ {
+		a, b := fresh.idx.rightRow(uint32(v)), eng.idx.rightRow(uint32(v))
 		if len(a) != len(b) {
 			t.Fatalf("index entry %d: incremental %v vs fresh %v", v, b, a)
 		}

@@ -9,12 +9,29 @@ import (
 // candidateIndex is the auxiliary bipartite graph H of Section 7.1: the
 // left vertices are queries, the right vertices are frequently-reached
 // walk positions, and two left vertices are candidate-similar when they
-// share a right neighbour.
+// share a right neighbour. Both directions are stored as flat CSR —
+// four arrays, no per-vertex slice headers — so the whole index
+// persists as four contiguous sections and serves zero-copy from an
+// mmapped snapshot.
 type candidateIndex struct {
-	// right[u] lists u_left's right neighbours, sorted and deduplicated.
-	right [][]uint32
-	// left[w] lists the left vertices adjacent to w_right, sorted.
-	left [][]uint32
+	// rightStart/rightAdj: row u lists u_left's right neighbours,
+	// sorted and deduplicated.
+	rightStart []uint32 // n+1 row offsets
+	rightAdj   []uint32
+	// leftStart/leftAdj: row w lists the left vertices adjacent to
+	// w_right, sorted.
+	leftStart []uint32 // n+1 row offsets
+	leftAdj   []uint32
+}
+
+// rightRow returns left vertex u's right neighbours (shared storage).
+func (ci *candidateIndex) rightRow(u uint32) []uint32 {
+	return ci.rightAdj[ci.rightStart[u]:ci.rightStart[u+1]]
+}
+
+// leftRow returns right vertex w's left adjacency (shared storage).
+func (ci *candidateIndex) leftRow(w uint32) []uint32 {
+	return ci.leftAdj[ci.leftStart[w]:ci.leftStart[w+1]]
 }
 
 // buildIndex runs Algorithm 4 (INDEXING) for every vertex in parallel:
@@ -24,14 +41,60 @@ type candidateIndex struct {
 func (e *Engine) buildIndex() {
 	n := e.g.N()
 	T, Q := e.p.T, e.p.Q
-	idx := &candidateIndex{right: make([][]uint32, n)}
+	rows := make([][]uint32, n)
 
 	e.parallelVertices(saltIndex, func(u uint32, r *rng.Source, s *scratch) {
-		idx.right[u] = e.buildIndexEntry(u, r, s.indexScratch(T, Q))
+		rows[u] = e.buildIndexEntry(u, r, s.indexScratch(T, Q))
 	})
 
-	idx.buildInverted(n)
-	e.idx = idx
+	e.idx = indexFromRows(rows)
+}
+
+// indexFromRows flattens per-vertex right rows into the CSR form and
+// constructs the inverted (left) CSR by counting sort. Left rows come
+// out sorted because the scan visits left vertices in ascending order.
+func indexFromRows(rows [][]uint32) *candidateIndex {
+	n := len(rows)
+	ci := &candidateIndex{
+		rightStart: make([]uint32, n+1),
+		leftStart:  make([]uint32, n+1),
+	}
+	total := 0
+	for _, rs := range rows {
+		total += len(rs)
+	}
+	ci.rightAdj = make([]uint32, 0, total)
+	for u, rs := range rows {
+		ci.rightStart[u] = uint32(len(ci.rightAdj))
+		ci.rightAdj = append(ci.rightAdj, rs...)
+	}
+	ci.rightStart[n] = uint32(len(ci.rightAdj))
+	ci.buildInverted()
+	return ci
+}
+
+// buildInverted fills leftStart/leftAdj from the right CSR.
+func (ci *candidateIndex) buildInverted() {
+	n := len(ci.rightStart) - 1
+	counts := make([]uint32, n)
+	for _, w := range ci.rightAdj {
+		counts[w]++
+	}
+	off := uint32(0)
+	for w, c := range counts {
+		ci.leftStart[w] = off
+		off += c
+	}
+	ci.leftStart[n] = off
+	ci.leftAdj = make([]uint32, off)
+	cursor := counts // reuse as per-row write cursors
+	copy(cursor, ci.leftStart[:n])
+	for u := 0; u < n; u++ {
+		for _, w := range ci.rightRow(uint32(u)) {
+			ci.leftAdj[cursor[w]] = uint32(u)
+			cursor[w]++
+		}
+	}
 }
 
 // indexScratch holds per-worker walk buffers for index construction.
@@ -54,9 +117,9 @@ func (e *Engine) buildIndexEntry(u uint32, r *rng.Source, s *indexScratch) []uin
 	T, P, Q := e.p.T, e.p.P, e.p.Q
 	var set []uint32
 	for trial := 0; trial < P; trial++ {
-		singleWalk(e.g, r, u, T, s.w0)
+		singleWalk(e.wt, r, u, T, s.w0)
 		for j := 0; j < Q; j++ {
-			singleWalk(e.g, r, u, T, s.walks[j])
+			singleWalk(e.wt, r, u, T, s.walks[j])
 		}
 		for t := 1; t <= T; t++ {
 			if s.w0[t] == Dead {
@@ -91,29 +154,6 @@ func hasCollision(walks [][]uint32, t int) bool {
 	return false
 }
 
-// buildInverted constructs the right-to-left adjacency. Left lists come
-// out sorted because construction iterates left vertices in ascending
-// order.
-func (ci *candidateIndex) buildInverted(n int) {
-	counts := make([]int32, n)
-	for _, rs := range ci.right {
-		for _, w := range rs {
-			counts[w]++
-		}
-	}
-	ci.left = make([][]uint32, n)
-	for w := range ci.left {
-		if counts[w] > 0 {
-			ci.left[w] = make([]uint32, 0, counts[w])
-		}
-	}
-	for u, rs := range ci.right {
-		for _, w := range rs {
-			ci.left[w] = append(ci.left[w], uint32(u))
-		}
-	}
-}
-
 // appendCandidates appends to out every left vertex sharing a right
 // neighbour with u, deduplicated through the scratch's current epoch tally
 // (the caller pre-marks u, so u never lists itself).
@@ -121,8 +161,8 @@ func (ci *candidateIndex) appendCandidates(u uint32, s *scratch, out []uint32) [
 	if ci == nil {
 		return out
 	}
-	for _, w := range ci.right[u] {
-		for _, v := range ci.left[w] {
+	for _, w := range ci.rightRow(u) {
+		for _, v := range ci.leftRow(w) {
 			if !s.checkSeen(v) {
 				out = append(out, v)
 			}
@@ -133,24 +173,15 @@ func (ci *candidateIndex) appendCandidates(u uint32, s *scratch, out []uint32) [
 
 // bytes approximates the index memory footprint.
 func (ci *candidateIndex) bytes() int64 {
-	var total int64
-	for _, rs := range ci.right {
-		total += int64(len(rs)) * 4
-	}
-	for _, ls := range ci.left {
-		total += int64(len(ls)) * 4
-	}
-	// Slice headers.
-	total += int64(len(ci.right)+len(ci.left)) * 24
-	return total
+	return int64(len(ci.rightStart)+len(ci.rightAdj)+len(ci.leftStart)+len(ci.leftAdj)) * 4
 }
 
 // indexedVertices reports how many vertices have a non-empty index entry;
 // used by tests and diagnostics.
 func (ci *candidateIndex) indexedVertices() int {
 	n := 0
-	for _, rs := range ci.right {
-		if len(rs) > 0 {
+	for u := 0; u < len(ci.rightStart)-1; u++ {
+		if ci.rightStart[u+1] > ci.rightStart[u] {
 			n++
 		}
 	}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package core
+
+import "fmt"
+
+// LoadIndexMmap is unavailable off unix: the zero-copy load path needs
+// mmap. Callers should fall back to the streaming LoadIndex.
+func LoadIndexMmap(path string, p Params) (*Engine, func() error, error) {
+	return nil, nil, fmt.Errorf("core: mmap index loading is not supported on this platform")
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -34,8 +35,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 	}
 	// Index entries identical.
-	for v := range e.idx.right {
-		a, b := e.idx.right[v], e2.idx.right[v]
+	for v := 0; v < e.g.N(); v++ {
+		a, b := e.idx.rightRow(uint32(v)), e2.idx.rightRow(uint32(v))
 		if len(a) != len(b) {
 			t.Fatalf("index entry %d length differs", v)
 		}
@@ -101,7 +102,22 @@ func TestLoadIndexRejectsMismatch(t *testing.T) {
 	}
 }
 
-func TestLoadIndexChecksum(t *testing.T) {
+// parseTestDirectory decodes the v3 header and directory of saved;
+// test-side mirror of the loader so corruption can target exact bytes.
+func parseTestDirectory(t *testing.T, saved []byte) (persistHeader, []persistSection) {
+	t.Helper()
+	var hdr persistHeader
+	if err := binary.Read(bytes.NewReader(saved), binary.LittleEndian, &hdr); err != nil {
+		t.Fatal(err)
+	}
+	dir := make([]persistSection, hdr.SectionCount)
+	if err := binary.Read(bytes.NewReader(saved[persistHeaderSize:]), binary.LittleEndian, dir); err != nil {
+		t.Fatal(err)
+	}
+	return hdr, dir
+}
+
+func TestLoadIndexV3Corruption(t *testing.T) {
 	g := graph.CopyingModel(150, 4, 0.3, 5)
 	p := DefaultParams()
 	p.Workers = 1
@@ -113,6 +129,80 @@ func TestLoadIndexChecksum(t *testing.T) {
 	saved := buf.Bytes()
 
 	// A clean file loads.
+	if _, err := LoadIndex(g, p, bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, dir := parseTestDirectory(t, saved)
+	if len(dir) < 4 {
+		t.Fatalf("expected several sections, directory has %d", len(dir))
+	}
+
+	// A flip anywhere in the header or directory must fail the header CRC.
+	for _, off := range []int{9, persistHeaderSize + 5, persistHeaderSize + persistSectionSize + 17} {
+		bad := bytes.Clone(saved)
+		bad[off] ^= 0x10
+		if _, err := LoadIndex(g, p, bytes.NewReader(bad)); err == nil {
+			t.Fatalf("header/directory bit flip at offset %d loaded without error", off)
+		}
+	}
+
+	// A flip inside any section payload must fail that section's CRC on
+	// the stream path. Probe the first, middle, and last byte of every
+	// non-empty section.
+	for _, d := range dir {
+		if d.Count == 0 {
+			continue
+		}
+		last := 4*d.Count - 1
+		for _, rel := range []uint64{0, last / 2, last} {
+			bad := bytes.Clone(saved)
+			bad[d.Offset+rel] ^= 0x04
+			_, err := LoadIndex(g, p, bytes.NewReader(bad))
+			if err == nil {
+				t.Fatalf("section %d bit flip at +%d loaded without error", d.Kind, rel)
+			}
+		}
+	}
+
+	// Truncation anywhere is rejected.
+	for _, cut := range []int{persistHeaderSize - 3, len(saved) / 2, len(saved) - 1} {
+		if _, err := LoadIndex(g, p, bytes.NewReader(saved[:cut])); err == nil {
+			t.Fatalf("file truncated to %d bytes loaded without error", cut)
+		}
+	}
+}
+
+func TestLoadIndexV3RejectsWrongGraph(t *testing.T) {
+	// Two graphs with identical n and m but different edges: the embedded
+	// CSR comparison must catch the swap, which v1/v2 could not.
+	ga := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	gb := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 2}})
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(ga, p)
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(gb, p, bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "different graph") {
+		t.Fatalf("err = %v, want different-graph rejection", err)
+	}
+}
+
+func TestLoadIndexChecksumV2(t *testing.T) {
+	g := graph.CopyingModel(150, 4, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(g, p)
+	var buf bytes.Buffer
+	if err := e.saveIndexLegacy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	// A clean v2 file still loads.
 	if _, err := LoadIndex(g, p, bytes.NewReader(saved)); err != nil {
 		t.Fatal(err)
 	}
@@ -149,38 +239,104 @@ func TestLoadIndexChecksum(t *testing.T) {
 	}
 }
 
-func TestLoadIndexReadsVersion1(t *testing.T) {
-	// A version-1 file is a version-2 file with the version field patched
-	// and the CRC trailer stripped; it must still load, without integrity
-	// checking.
+func TestLoadIndexReadsLegacyVersions(t *testing.T) {
+	// New files are always v3, but v2 files (written here by the retained
+	// legacy writer) and v1 files (a v2 file with the version field
+	// patched and the CRC trailer stripped) must still load.
 	g := graph.CopyingModel(150, 4, 0.3, 5)
 	p := DefaultParams()
 	p.Workers = 1
 	e := Build(g, p)
 	var buf bytes.Buffer
-	if err := e.SaveIndex(&buf); err != nil {
+	if err := e.saveIndexLegacy(&buf); err != nil {
 		t.Fatal(err)
 	}
-	v1 := bytes.Clone(buf.Bytes())
+	v2 := bytes.Clone(buf.Bytes())
+	v1 := bytes.Clone(v2)
 	v1 = v1[:len(v1)-4] // strip trailer
 	v1[4] = 1           // version field (little endian uint32 after magic)
 	v1[5], v1[6], v1[7] = 0, 0, 0
 
-	e2, err := LoadIndex(g, p, bytes.NewReader(v1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for u := uint32(0); u < 10; u++ {
-		ra, rb := e.TopK(u, 5), e2.TopK(u, 5)
-		if len(ra) != len(rb) {
-			t.Fatalf("u=%d: result lengths differ", u)
+	for name, file := range map[string][]byte{"v1": v1, "v2": v2} {
+		e2, err := LoadIndex(g, p, bytes.NewReader(file))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
 		}
-		for i := range ra {
-			if ra[i] != rb[i] {
-				t.Fatalf("u=%d: results differ", u)
+		for u := uint32(0); u < 10; u++ {
+			ra, rb := e.TopK(u, 5), e2.TopK(u, 5)
+			if len(ra) != len(rb) {
+				t.Fatalf("%s u=%d: result lengths differ", name, u)
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("%s u=%d: results differ", name, u)
+				}
 			}
 		}
 	}
+}
+
+func TestSaveLoadAliasSlots(t *testing.T) {
+	// Non-trivial walk-table slots (the weighted-walk extension) must
+	// round-trip through the alias sections.
+	g := graph.CopyingModel(80, 3, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(g, p)
+	m := g.M()
+	prob := make([]uint32, m)
+	alias := make([]uint32, m)
+	for i := range prob {
+		prob[i] = ^uint32(0) - uint32(i)
+		alias[i] = uint32(i % 3)
+	}
+	if err := e.wt.AdoptSlots(prob, alias); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadIndex(g, p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, a2 := e2.wt.Slots()
+	if p2 == nil {
+		t.Fatal("loaded walk table lost its alias slots")
+	}
+	for i := range prob {
+		if p2[i] != prob[i] || a2[i] != alias[i] {
+			t.Fatalf("slot %d: got (%#x,%d), want (%#x,%d)", i, p2[i], a2[i], prob[i], alias[i])
+		}
+	}
+}
+
+// FuzzSectionDirectory feeds mutated index files — and in particular
+// mutated headers and section directories — through LoadIndex: any
+// input may be rejected, none may panic or over-allocate.
+func FuzzSectionDirectory(f *testing.F) {
+	g := graph.CopyingModel(40, 3, 0.3, 5)
+	p := DefaultParams()
+	p.Workers = 1
+	e := Build(g, p)
+	var buf bytes.Buffer
+	if err := e.SaveIndex(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:persistHeaderSize+3*persistSectionSize])
+	var legacy bytes.Buffer
+	if err := e.saveIndexLegacy(&legacy); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e2, err := LoadIndex(g, p, bytes.NewReader(data))
+		if err == nil && e2 == nil {
+			t.Fatal("nil engine without error")
+		}
+	})
 }
 
 // failingWriter errors after n bytes.

@@ -225,8 +225,8 @@ func TestPreprocessIndependentOfWorkerCount(t *testing.T) {
 			t.Fatalf("gamma[%d] differs across worker counts", i)
 		}
 	}
-	for v := range e1.idx.right {
-		a, b := e1.idx.right[v], e8.idx.right[v]
+	for v := 0; v < e1.g.N(); v++ {
+		a, b := e1.idx.rightRow(uint32(v)), e8.idx.rightRow(uint32(v))
 		if len(a) != len(b) {
 			t.Fatalf("index entry %d differs across worker counts", v)
 		}
@@ -467,10 +467,10 @@ func TestIndexBuilt(t *testing.T) {
 		t.Fatal("index bytes not accounted")
 	}
 	// Inverted lists must be consistent with forward lists.
-	for u, rs := range e.idx.right {
-		for _, w := range rs {
+	for u := 0; u < e.g.N(); u++ {
+		for _, w := range e.idx.rightRow(uint32(u)) {
 			found := false
-			for _, l := range e.idx.left[w] {
+			for _, l := range e.idx.leftRow(w) {
 				if l == uint32(u) {
 					found = true
 					break

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/graph"
 	"repro/internal/rng"
 )
 
@@ -28,9 +29,12 @@ type scratch struct {
 	acc     []float64 // lazily allocated; only exact scoring needs it
 	touched []uint32
 
-	// Walk position buffers (one per side of a walk-pair estimate).
+	// Walk position buffers (one per side of a walk-pair estimate) and
+	// the batched step kernel's lane scratch (packed CSR row descriptors,
+	// bounded at graph.StepLane so it stays L1-resident).
 	pos  []uint32
 	pos2 []uint32
+	lane []uint64
 
 	// Dense undirected distances for the query-local ball. Entries are -1
 	// ("clean") outside a query; ball lists the vertices the last BFS
@@ -135,6 +139,20 @@ func (s *scratch) walkBuf(R int) []uint32 {
 	}
 	s.pos = s.pos[:R]
 	return s.pos
+}
+
+// laneBuf returns the step kernel's lane scratch, sized for R walks
+// (2 × min(R, graph.StepLane) entries, per StepWalks' contract).
+func (s *scratch) laneBuf(R int) []uint64 {
+	n := R
+	if n > graph.StepLane {
+		n = graph.StepLane
+	}
+	n *= 2
+	if cap(s.lane) < n {
+		s.lane = make([]uint64, n)
+	}
+	return s.lane[:n]
 }
 
 // walkBuf2 returns the secondary walk-position buffer with length R.

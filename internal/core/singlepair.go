@@ -41,6 +41,7 @@ func (e *Snapshot) SinglePairR(u, v uint32, R int) float64 {
 func (e *Snapshot) singlePairR(u, v uint32, R int, r *rng.Source, s *scratch) float64 {
 	upos := s.walkBuf(R)
 	vpos := s.walkBuf2(R)
+	lane := s.laneBuf(R)
 	resetWalks(upos, u)
 	resetWalks(vpos, v)
 
@@ -50,8 +51,8 @@ func (e *Snapshot) singlePairR(u, v uint32, R int, r *rng.Source, s *scratch) fl
 	aliveU, aliveV := R, R
 	for t := 0; t < e.p.T; t++ {
 		if t > 0 {
-			aliveU = stepWalks(e.g, r, upos)
-			aliveV = stepWalks(e.g, r, vpos)
+			aliveU = stepWalks(e.wt, r, upos, lane)
+			aliveV = stepWalks(e.wt, r, vpos, lane)
 			ct *= e.p.C
 		}
 		if aliveU == 0 || aliveV == 0 {
@@ -92,6 +93,7 @@ func (e *Snapshot) singlePairR(u, v uint32, R int, r *rng.Source, s *scratch) fl
 // allocations.
 func (e *Snapshot) singlePairOneSided(s *scratch, wd *walkDist, v uint32, R int, r *rng.Source) float64 {
 	vpos := s.walkBuf2(R)
+	lane := s.laneBuf(R)
 	resetWalks(vpos, v)
 	sigma := 0.0
 	ct := 1.0
@@ -99,7 +101,7 @@ func (e *Snapshot) singlePairOneSided(s *scratch, wd *walkDist, v uint32, R int,
 	alive := R
 	for t := 0; t < e.p.T; t++ {
 		if t > 0 {
-			alive = stepWalks(e.g, r, vpos)
+			alive = stepWalks(e.wt, r, vpos, lane)
 			ct *= e.p.C
 		}
 		if alive == 0 || t >= len(wd.verts) || len(wd.verts[t]) == 0 {

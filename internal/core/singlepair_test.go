@@ -157,13 +157,15 @@ func TestSingleSourceMC(t *testing.T) {
 
 func TestWalkDeath(t *testing.T) {
 	g := graph.DirectedStar(4) // leaves dangle
+	wt := g.BuildWalkTable()
 	r := rng.New(1)
 	pos := make([]uint32, 10)
+	lane := make([]uint64, 2*len(pos))
 	resetWalks(pos, 0)
-	if alive := stepWalks(g, r, pos); alive != 10 { // hub -> some leaf
+	if alive := stepWalks(wt, r, pos, lane); alive != 10 { // hub -> some leaf
 		t.Fatalf("after 1 step alive = %d", alive)
 	}
-	if alive := stepWalks(g, r, pos); alive != 0 { // leaves have no in-links
+	if alive := stepWalks(wt, r, pos, lane); alive != 0 { // leaves have no in-links
 		t.Fatalf("after 2 steps alive = %d", alive)
 	}
 	for _, p := range pos {
@@ -177,7 +179,7 @@ func TestWalkReset(t *testing.T) {
 	g := graph.Cycle(5)
 	pos := make([]uint32, 4)
 	resetWalks(pos, 2)
-	stepWalks(g, rng.New(1), pos)
+	stepWalks(g.BuildWalkTable(), rng.New(1), pos, make([]uint64, 2*len(pos)))
 	resetWalks(pos, 3)
 	for _, p := range pos {
 		if p != 3 {
@@ -189,7 +191,7 @@ func TestWalkReset(t *testing.T) {
 func TestSingleWalkRecordsTrajectory(t *testing.T) {
 	g := graph.Cycle(5) // in-neighbour of v is v-1 mod 5
 	out := make([]uint32, 4)
-	singleWalk(g, rng.New(1), 3, 3, out)
+	singleWalk(g.BuildWalkTable(), rng.New(1), 3, 3, out)
 	want := []uint32{3, 2, 1, 0}
 	for i := range want {
 		if out[i] != want[i] {
@@ -201,7 +203,7 @@ func TestSingleWalkRecordsTrajectory(t *testing.T) {
 func TestSingleWalkDeath(t *testing.T) {
 	g := graph.Path(3) // 0->1->2; vertex 0 has no in-links
 	out := make([]uint32, 5)
-	singleWalk(g, rng.New(1), 2, 4, out)
+	singleWalk(g.BuildWalkTable(), rng.New(1), 2, 4, out)
 	want := []uint32{2, 1, 0, Dead, Dead}
 	for i := range want {
 		if out[i] != want[i] {

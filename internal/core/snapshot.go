@@ -25,6 +25,11 @@ type Snapshot struct {
 	g *graph.Graph
 	p Params
 
+	// wt is the alias walk table every walk kernel samples through —
+	// built once per snapshot (O(1) for SimRank's uniform walks, whose
+	// tables are degenerate and alias the graph's CSR directly).
+	wt *graph.WalkTable
+
 	// gamma[v*T + t] = γ(v, t) from Algorithm 3 (L2 bound), row-major.
 	gamma []float32
 
@@ -64,7 +69,7 @@ type PreprocessStats struct {
 }
 
 func newSnapshot(g *graph.Graph, p Params) *Snapshot {
-	sn := &Snapshot{g: g, p: p.normalized()}
+	sn := &Snapshot{g: g, p: p.normalized(), wt: g.BuildWalkTable()}
 	n := g.N()
 	sn.pool.New = func() any { return newScratch(n) }
 	if sn.p.CacheBytes > 0 && sn.p.RScore <= maxTallyCount {
@@ -75,6 +80,9 @@ func newSnapshot(g *graph.Graph, p Params) *Snapshot {
 
 // Graph returns the snapshot's graph.
 func (e *Snapshot) Graph() *graph.Graph { return e.g }
+
+// WalkTable returns the snapshot's alias walk table.
+func (e *Snapshot) WalkTable() *graph.WalkTable { return e.wt }
 
 // Params returns the snapshot's normalized parameters.
 func (e *Snapshot) Params() Params { return e.p }

@@ -27,20 +27,14 @@ import "slices"
 func (e *Snapshot) simulateCandWalks(s *scratch, v uint32, lo, hi, stride int) {
 	T := e.p.T
 	tp := s.tposBuf(T, stride)
-	g := e.g
+	wt := e.wt
 	for i := lo; i < hi; i++ {
-		w := v
-		for t := 1; t < T; t++ {
-			if w != Dead {
-				in := g.In(w)
-				if len(in) == 0 {
-					w = Dead
-				} else {
-					w = in[s.rng.Uint32n(uint32(len(in)))]
-				}
-			}
-			tp[t*stride+i] = w
-		}
+		// One strided trajectory per walk: row t of tp gets step t's
+		// position at column i. Walk-major draw order is part of the
+		// determinism contract (the rough estimate replays a prefix of
+		// the same stream), so walks batch internally — scalar rng
+		// state across the whole trajectory — but never across walks.
+		wt.WalkStrided(&s.rng, v, T-1, stride, tp[i:])
 	}
 }
 

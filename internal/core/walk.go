@@ -17,41 +17,20 @@ func resetWalks(pos []uint32, u uint32) {
 	}
 }
 
-// stepWalks advances every live walk one in-link step; walks at vertices
-// with no in-links die. It returns the number of walks still alive. This
-// is the Monte-Carlo workhorse shared by Algorithms 1–4: a tight loop
-// over a flat position buffer with no per-step allocation.
-func stepWalks(g *graph.Graph, r *rng.Source, pos []uint32) int {
-	alive := 0
-	for i, v := range pos {
-		if v == Dead {
-			continue
-		}
-		in := g.In(v)
-		if len(in) == 0 {
-			pos[i] = Dead
-			continue
-		}
-		pos[i] = in[r.Uint32n(uint32(len(in)))]
-		alive++
-	}
-	return alive
+// stepWalks advances every live walk one in-link step through the
+// snapshot's alias walk table; walks at vertices with no in-links die.
+// It returns the number of walks still alive. This is the Monte-Carlo
+// workhorse shared by Algorithms 1–4: a batched gather+draw kernel over
+// a flat position buffer with no per-step allocation (see
+// graph.WalkTable.StepWalks for the draw schema and batching layout).
+// lane is scratch of at least min(len(pos), graph.StepLane) entries —
+// use scratch.laneBuf.
+func stepWalks(wt *graph.WalkTable, r *rng.Source, pos []uint32, lane []uint64) int {
+	return wt.StepWalks(r, pos, lane)
 }
 
 // singleWalk performs one walk of length T from u, recording the position
 // at every step into out (len T+1, out[0] = u; dead steps are Dead).
-func singleWalk(g *graph.Graph, r *rng.Source, u uint32, T int, out []uint32) {
-	out[0] = u
-	v := u
-	for t := 1; t <= T; t++ {
-		if v != Dead {
-			in := g.In(v)
-			if len(in) == 0 {
-				v = Dead
-			} else {
-				v = in[r.Uint32n(uint32(len(in)))]
-			}
-		}
-		out[t] = v
-	}
+func singleWalk(wt *graph.WalkTable, r *rng.Source, u uint32, T int, out []uint32) {
+	wt.Walk(r, u, T, out)
 }

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// referenceStep is the pre-alias kernel: uniform pick via rng.Uint32n.
+// The WalkTable draw schema must be byte-compatible with it.
+func referenceStep(g *Graph, r *rng.Source, v uint32) uint32 {
+	in := g.In(v)
+	if len(in) == 0 {
+		return NoVertex
+	}
+	return in[r.Uint32n(uint32(len(in)))]
+}
+
+func TestWalkTableTrivialUniform(t *testing.T) {
+	g := ErdosRenyi(500, 4, 11)
+	wt := g.BuildWalkTable()
+	if !wt.Trivial() {
+		t.Fatal("uniform table should be trivial")
+	}
+	if p, a := wt.Slots(); p != nil || a != nil {
+		t.Fatal("trivial table should carry no slot arrays")
+	}
+
+	// Next must consume rng draws identically to the reference kernel.
+	ra, rb := rng.New(42), rng.New(42)
+	for i := 0; i < 50000; i++ {
+		v := uint32(i % g.N())
+		got := wt.Next(ra, v)
+		want := referenceStep(g, rb, v)
+		if got != want {
+			t.Fatalf("step %d from %d: alias kernel picked %d, reference %d", i, v, got, want)
+		}
+	}
+	if ra.Uint64() != rb.Uint64() {
+		t.Fatal("alias kernel and reference consumed different draw counts")
+	}
+}
+
+func TestStepWalksMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"erdosrenyi", ErdosRenyi(300, 3, 5)},
+		{"citation", CitationDAG(400, 4, 3)}, // dangling-heavy: many walks die
+		{"star", Star(64)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			wt := g.BuildWalkTable()
+			const walks = 2500 // > StepLane so chunking is exercised
+			pos := make([]uint32, walks)
+			ref := make([]uint32, walks)
+			for i := range pos {
+				v := uint32(i % g.N())
+				pos[i], ref[i] = v, v
+			}
+			lane := make([]uint64, 2*StepLane)
+			ra, rb := rng.New(7), rng.New(7)
+			for step := 0; step < 12; step++ {
+				alive := wt.StepWalks(ra, pos, lane)
+				refAlive := 0
+				for i, v := range ref {
+					if v == NoVertex {
+						continue
+					}
+					ref[i] = referenceStep(g, rb, v)
+					if ref[i] != NoVertex {
+						refAlive++
+					}
+				}
+				if alive != refAlive {
+					t.Fatalf("step %d: alive=%d, reference %d", step, alive, refAlive)
+				}
+				for i := range pos {
+					if pos[i] != ref[i] {
+						t.Fatalf("step %d walk %d: batched kernel at %d, reference at %d", step, i, pos[i], ref[i])
+					}
+				}
+			}
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatal("batched kernel and reference consumed different draw counts")
+			}
+		})
+	}
+}
+
+func TestStepWalksDeadConsumeNothing(t *testing.T) {
+	// Vertex 0 has no in-edges, so every walk parked there dies.
+	gg := FromEdges(3, []Edge{{0, 1}, {0, 2}})
+	wt := gg.BuildWalkTable()
+	pos := []uint32{0, NoVertex, 0}
+	lane := make([]uint64, 2*len(pos))
+	r := rng.New(9)
+	before := *r
+	if alive := wt.StepWalks(r, pos, lane); alive != 0 {
+		t.Fatalf("alive = %d, want 0", alive)
+	}
+	if *r != before {
+		t.Fatal("dead walks consumed rng draws")
+	}
+	for i, v := range pos {
+		if v != NoVertex {
+			t.Fatalf("walk %d still at %d", i, v)
+		}
+	}
+}
+
+func TestWalkMatchesNextLoop(t *testing.T) {
+	g := PreferentialAttachment(300, 4, 0.3, 13)
+	wt := g.BuildWalkTable()
+	const T = 10
+	out := make([]uint32, T+1)
+	ref := make([]uint32, T+1)
+	ra, rb := rng.New(3), rng.New(3)
+	for u := uint32(0); u < 50; u++ {
+		wt.Walk(ra, u, T, out)
+		ref[0] = u
+		v := u
+		for t2 := 1; t2 <= T; t2++ {
+			if v != NoVertex {
+				v = wt.Next(rb, v)
+			}
+			ref[t2] = v
+		}
+		for t2 := range out {
+			if out[t2] != ref[t2] {
+				t.Fatalf("walk from %d diverges at step %d: %d vs %d", u, t2, out[t2], ref[t2])
+			}
+		}
+	}
+}
+
+func TestWalkStridedMatchesNextLoop(t *testing.T) {
+	g := CitationDAG(300, 4, 17) // dangling-heavy: exercises death
+	wt := g.BuildWalkTable()
+	const T, stride = 8, 5
+	out := make([]uint32, T*stride+1)
+	ra, rb := rng.New(21), rng.New(21)
+	for u := uint32(0); u < 60; u++ {
+		for i := range out {
+			out[i] = 0xdeadbeef
+		}
+		wt.WalkStrided(ra, u, T, stride, out)
+		v := u
+		for t2 := 1; t2 <= T; t2++ {
+			if v != NoVertex {
+				v = wt.Next(rb, v)
+			}
+			if out[t2*stride] != v {
+				t.Fatalf("strided walk from %d diverges at step %d: %d vs %d", u, t2, out[t2*stride], v)
+			}
+		}
+		for i, x := range out {
+			if i%stride == 0 && i > 0 {
+				continue
+			}
+			if x != 0xdeadbeef {
+				t.Fatalf("strided walk from %d wrote off-stride slot %d", u, i)
+			}
+		}
+	}
+	if ra.Uint64() != rb.Uint64() {
+		t.Fatal("strided walk and reference consumed different draw counts")
+	}
+}
+
+// aliasRowDistribution computes the exact sampling distribution a table
+// row induces: slot j is proposed with probability 1/d and kept with
+// probability prob[j]/2^32, else redirected to alias[j].
+func aliasRowDistribution(prob, alias []uint32) []float64 {
+	d := len(prob)
+	dist := make([]float64, d)
+	for j := 0; j < d; j++ {
+		keep := float64(prob[j]) / (1 << 32)
+		if prob[j] == fullProb {
+			keep = 1
+		}
+		dist[j] += keep / float64(d)
+		dist[alias[j]] += (1 - keep) / float64(d)
+	}
+	return dist
+}
+
+func TestWeightedWalkTableVose(t *testing.T) {
+	g := FromEdges(5, []Edge{{1, 0}, {2, 0}, {3, 0}, {4, 0}, {0, 1}, {2, 1}})
+	w := make([]float64, g.M())
+	// Vertex 0's in-row (sources 1,2,3,4) gets skewed weights; vertex 1's
+	// row (sources 0,2) gets equal weights.
+	start, _ := g.InCSR()
+	row0 := []float64{0.5, 0.25, 0.2, 0.05}
+	copy(w[start[0]:start[1]], row0)
+	w[start[1]] = 3
+	w[start[1]+1] = 3
+	wt, err := BuildWeightedWalkTable(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.Trivial() {
+		t.Fatal("weighted table should not be trivial")
+	}
+	prob, alias := wt.Slots()
+	dist := aliasRowDistribution(prob[start[0]:start[1]], alias[start[0]:start[1]])
+	for j, want := range row0 {
+		if diff := dist[j] - want; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("row 0 slot %d: alias distribution %.9f, want %.9f", j, dist[j], want)
+		}
+	}
+	dist1 := aliasRowDistribution(prob[start[1]:start[2]], alias[start[1]:start[2]])
+	for j, p := range dist1 {
+		if diff := p - 0.5; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("row 1 slot %d: alias distribution %.9f, want 0.5", j, p)
+		}
+	}
+
+	// Empirical sanity: sampled frequencies from vertex 0 track the weights.
+	r := rng.New(1234)
+	counts := make(map[uint32]int)
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		counts[wt.Next(r, 0)]++
+	}
+	in := g.In(0)
+	for j, src := range in {
+		got := float64(counts[src]) / samples
+		if diff := got - row0[j]; diff > 0.01 || diff < -0.01 {
+			t.Errorf("source %d sampled at %.4f, want %.4f", src, got, row0[j])
+		}
+	}
+}
+
+func TestWeightedWalkTableZeroRowUniform(t *testing.T) {
+	g := FromEdges(3, []Edge{{1, 0}, {2, 0}})
+	w := []float64{0, 0}
+	wt, err := BuildWeightedWalkTable(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, alias := wt.Slots()
+	for j := range prob {
+		if prob[j] != fullProb || alias[j] != uint32(j) {
+			t.Fatalf("zero-weight row slot %d: prob=%#x alias=%d, want uniform", j, prob[j], alias[j])
+		}
+	}
+}
+
+func TestBuildWeightedWalkTableErrors(t *testing.T) {
+	g := FromEdges(3, []Edge{{1, 0}, {2, 0}})
+	if _, err := BuildWeightedWalkTable(g, []float64{1}); err == nil {
+		t.Fatal("expected weight-length error")
+	}
+}
+
+func TestAdoptSlots(t *testing.T) {
+	g := FromEdges(3, []Edge{{1, 0}, {2, 0}})
+	wt := g.BuildWalkTable()
+	if err := wt.AdoptSlots(make([]uint32, 2), make([]uint32, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if wt.Trivial() {
+		t.Fatal("adopted slots should make the table non-trivial")
+	}
+	if err := wt.AdoptSlots(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !wt.Trivial() {
+		t.Fatal("nil slots should restore the trivial table")
+	}
+	if err := wt.AdoptSlots(make([]uint32, 1), make([]uint32, 2)); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if err := wt.AdoptSlots(make([]uint32, 2), nil); err == nil {
+		t.Fatal("expected nil-mismatch error")
+	}
+}

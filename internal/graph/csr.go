@@ -1,0 +1,61 @@
+package graph
+
+import "fmt"
+
+// FromCSR constructs a Graph directly over caller-provided CSR arrays
+// without copying them — the zero-copy path used when serving from a
+// memory-mapped index file. The slices are adopted as-is (they may be
+// views into a read-only mapping and must not be modified afterwards).
+//
+// Validation is O(n) on the offset arrays only — monotonicity and
+// bounds — never O(m) over the adjacency payload, so adopting a mapped
+// multi-GB index stays independent of its size. Adjacency entries are
+// range-checked lazily by the uint32 indexing of the consuming kernels.
+func FromCSR(n int, inStart, inAdj, outStart, outAdj []uint32) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if err := checkOffsets("in", n, inStart, len(inAdj)); err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("out", n, outStart, len(outAdj)); err != nil {
+		return nil, err
+	}
+	if len(inAdj) != len(outAdj) {
+		return nil, fmt.Errorf("graph: in/out edge counts differ (%d vs %d)", len(inAdj), len(outAdj))
+	}
+	return &Graph{
+		n:        n,
+		inStart:  inStart,
+		inAdj:    inAdj,
+		outStart: outStart,
+		outAdj:   outAdj,
+	}, nil
+}
+
+func checkOffsets(dir string, n int, start []uint32, m int) error {
+	if len(start) != n+1 {
+		return fmt.Errorf("graph: %s-offset array has %d entries, want %d", dir, len(start), n+1)
+	}
+	if start[0] != 0 {
+		return fmt.Errorf("graph: %s-offset array starts at %d, want 0", dir, start[0])
+	}
+	for i := 0; i < n; i++ {
+		if start[i+1] < start[i] {
+			return fmt.Errorf("graph: %s-offset array decreases at vertex %d", dir, i)
+		}
+	}
+	if int(start[n]) != m {
+		return fmt.Errorf("graph: %s-offset array ends at %d, want %d edges", dir, start[n], m)
+	}
+	return nil
+}
+
+// InCSR exposes the in-direction CSR arrays (walk direction) for
+// persistence. The slices alias internal storage and must not be
+// modified.
+func (g *Graph) InCSR() (start, adj []uint32) { return g.inStart, g.inAdj }
+
+// OutCSR exposes the out-direction CSR arrays for persistence. The
+// slices alias internal storage and must not be modified.
+func (g *Graph) OutCSR() (start, adj []uint32) { return g.outStart, g.outAdj }

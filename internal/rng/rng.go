@@ -72,29 +72,66 @@ func (r *Source) Uint64() uint64 {
 	return result
 }
 
-// Uint32 returns the next 32 uniformly random bits.
+// Uint32 returns the next 32 uniformly random bits: the top half of the
+// next Uint64, which is the xoshiro output with the better-mixed bits.
+// The generator body is spelled out (rather than calling Uint64) to keep
+// the function inside the compiler's inlining budget — walk kernels draw
+// through this on every step.
 func (r *Source) Uint32() uint32 {
-	return uint32(r.Uint64() >> 32)
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return uint32(result >> 32)
+}
+
+// State returns the generator's four xoshiro256** state words. Bulk
+// kernels copy the state into scalar locals (which the compiler keeps in
+// registers — a pointer-addressed Source round-trips through memory on
+// every draw), step the generator inline, and hand the words back via
+// SetState. Such a kernel must reproduce the exact output sequence of
+// Uint64/Uint32; the contract is pinned by the golden draw tests.
+func (r *Source) State() (s0, s1, s2, s3 uint64) {
+	return r.s0, r.s1, r.s2, r.s3
+}
+
+// SetState replaces the generator's state words; see State.
+func (r *Source) SetState(s0, s1, s2, s3 uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
 }
 
 // Uint32n returns a uniformly random integer in [0, n).
-// It panics if n == 0. Uses Lemire's multiply-shift rejection method.
+// It panics if n == 0. Uses Lemire's multiply-shift method: the product
+// x·n splits into a quotient (the result) and a fractional remainder,
+// and only draws whose remainder lands under the bias threshold reject.
+// The no-rejection fast path is branch-one-compare; the threshold is
+// computed once, in the out-of-line slow path, so retries cost a single
+// multiply each.
 func (r *Source) Uint32n(n uint32) uint32 {
+	m := uint64(r.Uint32()) * uint64(n)
+	if uint32(m) < n || n == 0 {
+		m = r.uint32nSlow(m, n)
+	}
+	return uint32(m >> 32)
+}
+
+// uint32nSlow finishes a draw whose first attempt landed in the biased
+// low region; it also hosts the n == 0 panic (the fast path's
+// `uint32(m) < n` test alone would miss it — the product is 0 and
+// 0 < 0 is false — so the caller checks n == 0 explicitly).
+func (r *Source) uint32nSlow(m uint64, n uint32) uint64 {
 	if n == 0 {
 		panic("rng: Uint32n with n == 0")
 	}
-	x := r.Uint32()
-	m := uint64(x) * uint64(n)
-	low := uint32(m)
-	if low < n {
-		thresh := -n % n
-		for low < thresh {
-			x = r.Uint32()
-			m = uint64(x) * uint64(n)
-			low = uint32(m)
-		}
+	thresh := -n % n
+	for uint32(m) < thresh {
+		m = uint64(r.Uint32()) * uint64(n)
 	}
-	return uint32(m >> 32)
+	return m
 }
 
 // Intn returns a uniformly random int in [0, n). It panics if n <= 0.

@@ -37,4 +37,18 @@ go run ./cmd/simlint -baseline lint.baseline.json ./...
 echo "==> bench smoke (1 iteration each)"
 go test -run - -bench . -benchtime 1x ./...
 
+# Walk-kernel perf guard: a short measured run of BenchmarkWalkStep must
+# stay within 2x of the committed BENCH_core.json snapshot, so losing
+# the alias-kernel optimizations (or reintroducing an allocation that
+# shows up as time) fails the gate. Skipped on small machines — below 4
+# CPUs, scheduler noise regularly exceeds the 2x signal.
+echo "==> walk-kernel perf guard"
+cpus="$(nproc 2>/dev/null || echo 1)"
+if [ "$cpus" -lt 4 ]; then
+	echo "skipped: $cpus CPU(s) < 4, too noisy to gate on"
+else
+	go test -run - -bench 'WalkStep$' -benchtime 100x ./internal/core | \
+		go run ./cmd/benchguard -baseline BENCH_core.json -name BenchmarkWalkStep -max-ratio 2
+fi
+
 echo "==> gate clean"
