@@ -4,27 +4,38 @@
 // Usage:
 //
 //	simlint [-json] [-rules norand,seedmix,...] [-list] [-v] [-par N]
-//	        [-baseline file [-write-baseline]] [packages]
+//	        [-baseline file [-write-baseline]] [-update-baseline]
+//	        [-nosuppress] [-time-budget d] [packages]
 //
 // Packages are directories or "dir/..." patterns; the default is "./...".
 // The tool is its own driver (the stdlib has no vet -vettool plumbing),
 // type-checks from source with go/parser + go/types, and needs no
 // dependencies beyond the standard library. Loading is sequential (the
-// loader shares a FileSet and package cache) but the analyzers run over
-// packages in parallel, bounded by -par; output order is deterministic
-// regardless of scheduling.
+// loader shares a FileSet and package cache); then a module-wide
+// interprocedural layer (call graph + effect summaries) is built once and
+// shared, and the analyzers run over packages in parallel, bounded by
+// -par; output order is deterministic regardless of scheduling.
 //
 // With -baseline FILE, diagnostics recorded in FILE are accepted and only
 // new findings are reported — the CI mode, so a newly added analyzer's
 // pre-existing debt fails no one while new regressions fail immediately.
 // -write-baseline (re)writes FILE from the current findings instead.
-// Entries that no longer fire are listed as stale under -v so the debt
-// file shrinks over time.
+// -update-baseline is the make-target spelling: it implies -write-baseline
+// and defaults FILE to lint.baseline.json. Entries that no longer fire
+// are listed as stale under -v so the debt file shrinks over time.
+//
+// -nosuppress disables //lint:ignore and //lint:file-ignore processing,
+// surfacing every raw diagnostic — the audit mode for finding stale
+// suppressions (a directive whose diagnostic no longer appears even with
+// -nosuppress suppresses nothing and should be deleted).
+//
+// -time-budget D fails the run (exit 1) if loading plus analysis exceeds
+// the duration D; CI uses it to keep the lint pass from silently growing.
 //
 // Exit status:
 //
 //	0  clean: no diagnostics, or (with -baseline) none beyond the baseline
-//	1  diagnostics found (new diagnostics, in baseline mode)
+//	1  diagnostics found (new diagnostics, in baseline mode), or budget blown
 //	2  usage, load, or type-checking error
 //
 // Suppress individual findings in source with //lint:ignore <rule>
@@ -58,7 +69,18 @@ func run() int {
 	par := flag.Int("par", runtime.NumCPU(), "max packages analyzed concurrently")
 	baselinePath := flag.String("baseline", "", "baseline JSON file: report only diagnostics not recorded in it (exit 1 = new findings)")
 	writeBaseline := flag.Bool("write-baseline", false, "write current diagnostics to the -baseline file and exit 0")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the baseline deterministically (implies -write-baseline; -baseline defaults to lint.baseline.json)")
+	noSuppress := flag.Bool("nosuppress", false, "ignore //lint:ignore and //lint:file-ignore directives (audit mode for stale suppressions)")
+	timeBudget := flag.Duration("time-budget", 0, "fail if loading+analysis exceeds this duration (0 = no budget)")
 	flag.Parse()
+
+	start := time.Now()
+	if *updateBaseline {
+		if *baselinePath == "" {
+			*baselinePath = "lint.baseline.json"
+		}
+		*writeBaseline = true
+	}
 
 	analyzers := analysis.Analyzers()
 	if *list {
@@ -92,7 +114,7 @@ func run() int {
 	var diags []analysis.Diagnostic
 	modRoot := ""
 	for _, pat := range patterns {
-		ds, root, err := lintPattern(pat, analyzers, *par, *verbose, timing)
+		ds, root, err := lintPattern(pat, analyzers, *par, *verbose, *noSuppress, timing)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 			return 2
@@ -103,6 +125,12 @@ func run() int {
 		diags = append(diags, ds...)
 	}
 	timing.report()
+	elapsed := time.Since(start)
+	if *timeBudget > 0 && elapsed > *timeBudget {
+		fmt.Fprintf(os.Stderr, "simlint: analysis took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *timeBudget)
+		return 1
+	}
 
 	if *writeBaseline {
 		b := analysis.NewBaseline(diags, modRoot)
@@ -150,10 +178,11 @@ func run() int {
 }
 
 // lintPattern loads one pattern's packages (sequentially — the loader is
-// not concurrency-safe) and analyzes them in parallel. Results are
-// collected by package index, so output order matches load order no
+// not concurrency-safe), builds the shared interprocedural module over
+// everything the loader saw, and analyzes packages in parallel. Results
+// are collected by package index, so output order matches load order no
 // matter how the goroutines are scheduled.
-func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose bool, timing *timingSink) ([]analysis.Diagnostic, string, error) {
+func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose, noSuppress bool, timing *timingSink) ([]analysis.Diagnostic, string, error) {
 	root := strings.TrimSuffix(pat, "...")
 	recursive := root != pat
 	root = filepath.Clean(strings.TrimSuffix(root, "/"))
@@ -185,6 +214,11 @@ func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose bo
 		}
 	}
 
+	// One interprocedural layer over every package this loader touched
+	// (including module-local imports pulled in transitively), shared
+	// read-only by the per-package analyzer goroutines.
+	mod := analysis.BuildModule(loader.Packages())
+
 	results := make([][]analysis.Diagnostic, len(pkgs))
 	errs := make([]error, len(pkgs))
 	sem := make(chan struct{}, par)
@@ -195,7 +229,12 @@ func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose bo
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = analysis.RunInstrumented(pkg, analyzers, timing.now(), timing.observe())
+			results[i], errs[i] = analysis.RunPackage(pkg, analyzers, analysis.RunOptions{
+				Mod:        mod,
+				Now:        timing.now(),
+				Observe:    timing.observe(),
+				NoSuppress: noSuppress,
+			})
 		}(i, pkg)
 	}
 	wg.Wait()

@@ -41,10 +41,14 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// A Pass carries one analyzer's view of one loaded package.
+// A Pass carries one analyzer's view of one loaded package. Mod is the
+// module-wide interprocedural layer (call graph and summaries) shared by
+// every package of the same load; analyzers that only need the package
+// can ignore it.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Mod      *Module
 
 	diags *[]Diagnostic
 }
@@ -77,30 +81,52 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Rule)
 }
 
+// RunOptions configures RunPackage.
+type RunOptions struct {
+	// Mod is the interprocedural layer shared across packages of one
+	// load. When nil, RunPackage builds a single-package module on the
+	// fly — sufficient for the intraprocedural analyzers, but
+	// cross-package call chains are invisible to that view, so drivers
+	// that lint whole modules should build one Module over every loaded
+	// package and share it.
+	Mod *Module
+	// Now and Observe form an optional per-analyzer timing hook: Observe
+	// is called once per analyzer with its wall-clock Run duration. The
+	// clock is injected by the caller (cmd/simlint passes time.Now)
+	// because this package sits inside its own norand scope and must not
+	// read the wall clock directly. Either may be nil to disable timing.
+	Now     func() time.Time
+	Observe func(rule string, elapsed time.Duration)
+	// NoSuppress disables //lint:ignore and //lint:file-ignore
+	// processing, surfacing every raw diagnostic. cmd/simlint uses it to
+	// audit the suppression inventory for stale directives.
+	NoSuppress bool
+}
+
 // Run applies the given analyzers to the package, filters suppressed
 // findings, and returns the surviving diagnostics sorted by position.
 // Malformed ignore directives are reported under the pseudo-rule "lint".
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	return RunInstrumented(pkg, analyzers, nil, nil)
+	return RunPackage(pkg, analyzers, RunOptions{})
 }
 
-// RunInstrumented is Run with an optional per-analyzer timing hook:
-// observe is called once per analyzer with its wall-clock Run duration.
-// The clock is injected by the caller (cmd/simlint passes time.Now)
-// because this package sits inside its own norand scope and must not
-// read the wall clock directly. Either argument may be nil to disable
-// timing.
-func RunInstrumented(pkg *Package, analyzers []*Analyzer, now func() time.Time, observe func(rule string, elapsed time.Duration)) ([]Diagnostic, error) {
+// RunPackage is Run with explicit options (shared module, timing hooks,
+// suppression control).
+func RunPackage(pkg *Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, error) {
+	mod := opts.Mod
+	if mod == nil {
+		mod = BuildModule([]*Package{pkg})
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Mod: mod, diags: &diags}
 		var start time.Time
-		if now != nil && observe != nil {
-			start = now()
+		if opts.Now != nil && opts.Observe != nil {
+			start = opts.Now()
 		}
 		err := a.Run(pass)
-		if now != nil && observe != nil {
-			observe(a.Name, now().Sub(start))
+		if opts.Now != nil && opts.Observe != nil {
+			opts.Observe(a.Name, opts.Now().Sub(start))
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
@@ -111,7 +137,7 @@ func RunInstrumented(pkg *Package, analyzers []*Analyzer, now func() time.Time, 
 	kept := diags[:0]
 	for _, d := range diags {
 		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
-		if idx.suppressed(d) {
+		if !opts.NoSuppress && idx.suppressed(d) {
 			continue
 		}
 		kept = append(kept, d)

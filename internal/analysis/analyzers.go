@@ -19,6 +19,7 @@ func Analyzers() []*Analyzer {
 		CtxFlow,
 		SealWrite,
 		UnsafeConfine,
+		HotAlloc,
 	}
 }
 

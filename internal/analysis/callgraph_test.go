@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func findFunc(t *testing.T, mod *Module, name string) *FuncInfo {
+	t.Helper()
+	for _, fi := range mod.Funcs {
+		if fi.Name() == name {
+			return fi
+		}
+	}
+	t.Fatalf("function %q not in module", name)
+	return nil
+}
+
+func fixtureModule(t *testing.T, fixture string) *Module {
+	t.Helper()
+	_, loader := loadFixtureModule(t, fixture)
+	return BuildModule(loader.Packages())
+}
+
+func TestBuildModuleGraph(t *testing.T) {
+	mod := fixtureModule(t, "hotalloc")
+
+	// Hot markers land on exactly the marked declarations.
+	for name, wantHot := range map[string]bool{
+		"directRoot":     true,
+		"oneDeepRoot":    true,
+		"deepRoot":       true,
+		"catalogue":      true,
+		"suppressedRoot": true,
+		"helperAlloc":    false,
+		"mid":            false,
+		"coldAlloc":      false,
+		"Grow":           false,
+	} {
+		if fi := findFunc(t, mod, name); fi.Hot != wantHot {
+			t.Errorf("%s: Hot = %v, want %v", name, fi.Hot, wantHot)
+		}
+	}
+
+	// Static edges resolve within and across packages.
+	edges := func(name string) map[string]bool {
+		out := map[string]bool{}
+		for _, e := range findFunc(t, mod, name).Callees {
+			if e.Info != nil {
+				out[e.Info.Name()] = true
+			}
+		}
+		return out
+	}
+	if !edges("oneDeepRoot")["helperAlloc"] {
+		t.Error("oneDeepRoot → helperAlloc edge missing")
+	}
+	if !edges("mid")["Grow"] {
+		t.Error("mid → dep.Grow cross-package edge missing")
+	}
+	// The dynamic call f() in catalogue must NOT produce an edge; the
+	// statically-called helpers must.
+	ce := edges("catalogue")
+	if !ce["box"] || !ce["work"] {
+		t.Errorf("catalogue edges = %v, want box and work", ce)
+	}
+
+	// FuncOf round-trips through the types object.
+	grow := findFunc(t, mod, "Grow")
+	if mod.FuncOf(grow.Obj) != grow {
+		t.Error("FuncOf does not round-trip")
+	}
+	if mod.FuncOf(nil) != nil {
+		t.Error("FuncOf(nil) must be nil")
+	}
+}
+
+func TestHotReachChains(t *testing.T) {
+	mod := fixtureModule(t, "hotalloc")
+	reach := mod.hotReach()
+
+	chainOf := func(name string) string {
+		fi := findFunc(t, mod, name)
+		chain, ok := reach[fi]
+		if !ok {
+			t.Fatalf("%s not hot-reachable", name)
+		}
+		return chainString(chain)
+	}
+	if got := chainOf("directRoot"); got != "directRoot" {
+		t.Errorf("root chain = %q", got)
+	}
+	if got := chainOf("helperAlloc"); got != "oneDeepRoot → helperAlloc" {
+		t.Errorf("one-deep chain = %q", got)
+	}
+	if got := chainOf("Grow"); got != "deepRoot → mid → Grow" {
+		t.Errorf("two-deep chain = %q", got)
+	}
+	if _, ok := reach[findFunc(t, mod, "coldAlloc")]; ok {
+		t.Error("coldAlloc must not be hot-reachable")
+	}
+
+	// Determinism: an independent build yields identical chains.
+	mod2 := fixtureModule(t, "hotalloc")
+	reach2 := mod2.hotReach()
+	if len(reach) != len(reach2) {
+		t.Fatalf("reach sizes differ: %d vs %d", len(reach), len(reach2))
+	}
+	for fi, chain := range reach {
+		fi2 := findFunc(t, mod2, fi.Name())
+		if chainString(chain) != chainString(reach2[fi2]) {
+			t.Errorf("%s: chains differ across builds: %q vs %q",
+				fi.Name(), chainString(chain), chainString(reach2[fi2]))
+		}
+	}
+}

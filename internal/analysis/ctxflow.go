@@ -27,9 +27,15 @@ import (
 //     without a ctx parameter are exactly those wrappers and are exempt.)
 //  3. An unconditional `for {` loop that does work (calls, channel
 //     operations) must consult cancellation somewhere in its body —
-//     mention ctx (ctx.Err()/ctx.Done()) or select on a done channel —
-//     whether or not the surrounding function receives a ctx. These are
-//     the serving loops; one that cannot be stopped pins a goroutine
+//     check ctx directly (ctx.Err()/ctx.Done()), pass ctx to a callee
+//     that provably checks it (decided by the interprocedural summaries,
+//     so a helper like `if stop(ctx) { return }` counts through any
+//     number of hops), or select on a done channel — whether or not the
+//     surrounding function receives a ctx. Merely mentioning ctx is not
+//     enough: passing it to a helper that ignores it checks nothing.
+//     Callees outside the module (or reached dynamically) are assumed to
+//     honor a ctx they receive, since their bodies are not loaded. These
+//     are the serving loops; one that cannot be stopped pins a goroutine
 //     for the life of the process.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
@@ -319,7 +325,6 @@ func ctxDerived(info *types.Info, arg ast.Expr, ctxVars []*types.Var, derivedVar
 // checkServingLoops flags unconditional for-loops that do blocking work
 // without consulting cancellation (rule 3).
 func checkServingLoops(pass *Pass, body *ast.BlockStmt, ctxVars []*types.Var) {
-	info := pass.Pkg.Info
 	sameFuncInspect(body, func(n ast.Node) bool {
 		fs, ok := n.(*ast.ForStmt)
 		if !ok || fs.Cond != nil || fs.Init != nil || fs.Post != nil {
@@ -328,7 +333,7 @@ func checkServingLoops(pass *Pass, body *ast.BlockStmt, ctxVars []*types.Var) {
 		if !loopDoesWork(fs.Body) {
 			return true
 		}
-		if loopChecksCancel(info, fs.Body, ctxVars) {
+		if loopChecksCancel(pass, fs.Body, ctxVars) {
 			return true
 		}
 		pass.Reportf(fs.Pos(),
@@ -362,14 +367,55 @@ func loopDoesWork(body *ast.BlockStmt) bool {
 }
 
 // loopChecksCancel reports whether the loop body consults cancellation:
-// mentions one of the visible ctx variables (ctx.Err(), ctx.Done()), or
-// selects/receives on a channel in a way that can exit the loop.
-func loopChecksCancel(info *types.Info, body *ast.BlockStmt, ctxVars []*types.Var) bool {
+// calls ctx.Err()/ctx.Done() on a visible ctx variable, passes a ctx
+// variable to a callee that checks it (per the module summaries; callees
+// without a loaded body are trusted), or selects/receives on a channel
+// in a way that can exit the loop.
+func loopChecksCancel(pass *Pass, body *ast.BlockStmt, ctxVars []*types.Var) bool {
+	info := pass.Pkg.Info
 	vars := map[*types.Var]bool{}
 	for _, v := range ctxVars {
 		vars[v] = true
 	}
-	if len(vars) > 0 && mentionsAnyVar(info, body, vars) {
+	checked := false
+	sameFuncInspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !checked
+		}
+		// Direct check: v.Err() / v.Done() on a visible ctx variable.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Err" || sel.Sel.Name == "Done") {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && vars[v] {
+					checked = true
+					return false
+				}
+			}
+		}
+		// Indirect check: a ctx variable handed to a callee that consults
+		// it. Module callees must prove it via their summary; callees the
+		// loader has no body for are assumed to honor the ctx.
+		passesCtx := false
+		for _, arg := range call.Args {
+			if mentionsAnyVar(info, arg, vars) {
+				passesCtx = true
+				break
+			}
+		}
+		if passesCtx {
+			callee, dynamic := staticCallee(info, call)
+			if fi := pass.Mod.FuncOf(callee); fi != nil {
+				if fi.Summary.ChecksCtx {
+					checked = true
+				}
+			} else if dynamic || callee != nil {
+				checked = true
+			}
+		}
+		return !checked
+	})
+	if checked {
 		return true
 	}
 	// A select with a receive case whose body can leave the loop (return

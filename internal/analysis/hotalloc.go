@@ -1,0 +1,51 @@
+package analysis
+
+// hotalloc enforces the query hot path's allocation-freedom statically.
+//
+// The dynamic side of this contract already exists: the steady-state
+// benchmarks count allocs/op and the scratch pool makes the walk/tally
+// kernels reuse their buffers. But a benchmark only guards the code it
+// happens to exercise. hotalloc instead starts from every function whose
+// doc comment carries //lint:hotpath, walks the static call graph
+// (callgraph.go), and reports every allocation site reachable from a
+// root — with the call chain that reaches it, so a diagnostic two calls
+// deep reads "StepWalks → stepChunk → gatherLive: make(…)".
+//
+// What counts as an allocation site is decided by the effect summaries
+// (summary.go): make/new, map/slice/closure literals, &T{…}, growing
+// appends (the self-assign form `x = append(x, …)` is exempt — that is
+// the amortized pooled-growth idiom the scratch buffers rely on),
+// string concatenation and string↔slice conversions, interface boxing
+// at call boundaries, goroutine spawns, plus the two shapes the static
+// view cannot see through: dynamic calls and calls into external
+// packages outside a small trusted allowlist (sync/atomic, math,
+// math/bits, slices.Sort/BinarySearch). Those are reported as
+// "not proven allocation-free" rather than silently trusted.
+//
+// Intentional amortized growth inside a hot function is suppressed the
+// usual way, with //lint:ignore hotalloc <reason> on the site.
+
+// HotAlloc reports allocation sites reachable from //lint:hotpath roots.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "reports heap allocation sites (and calls not provably allocation-free) " +
+		"reachable from //lint:hotpath-marked functions through the static call graph",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	reach := pass.Mod.hotReach()
+	for _, fi := range pass.Mod.Funcs {
+		if fi.Pkg != pass.Pkg {
+			continue // each package's pass reports only its own files
+		}
+		chain, hot := reach[fi]
+		if !hot {
+			continue
+		}
+		for _, site := range fi.Summary.Allocs {
+			pass.Reportf(site.Pos, "allocation on hot path: %s [via %s]", site.What, chainString(chain))
+		}
+	}
+	return nil
+}

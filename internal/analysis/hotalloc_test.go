@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotAlloc(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc")
+}
+
+// TestHotAllocChains pins the exact chain rendering: the two-deep
+// cross-package diagnostic must name every hop in order.
+func TestHotAllocChains(t *testing.T) {
+	root, loader := loadFixtureModule(t, "hotalloc")
+	mod := BuildModule(loader.Packages())
+	var dep *Package
+	for _, pkg := range loader.Packages() {
+		if strings.HasSuffix(pkg.ImportPath, "/dep") {
+			dep = pkg
+		}
+	}
+	if dep == nil {
+		t.Fatal("dep subpackage not loaded; fixture import missing?")
+	}
+	diags, err := RunPackage(dep, []*Analyzer{HotAlloc}, RunOptions{Mod: mod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("dep diagnostics = %v, want exactly one", diags)
+	}
+	if want := "[via deepRoot → mid → Grow]"; !strings.Contains(diags[0].Message, want) {
+		t.Errorf("chain rendering: got %q, want substring %q", diags[0].Message, want)
+	}
+	_ = root
+}

@@ -13,6 +13,65 @@ const (
 	fileIgnorePrefix = "//lint:file-ignore"
 )
 
+// ignoreDirective is one parsed suppression comment.
+type ignoreDirective struct {
+	FileWide bool
+	Rules    []string
+	Reason   string
+	// Malformed marks directive-shaped text that is unusable (missing
+	// rule or reason, or an empty rule name). It is reported under the
+	// pseudo-rule "lint" and suppresses nothing.
+	Malformed bool
+}
+
+// parseIgnoreDirective classifies one comment line. Non-directives
+// (including close-but-not-quite text like "//lint:ignoreme", where the
+// prefix is not followed by whitespace) return ok == false. Directives
+// return ok == true, with Malformed set when the text cannot be used:
+// fewer than two fields after the prefix, or an empty rule name in the
+// comma-separated list ("norand,," suppresses nothing cleanly).
+func parseIgnoreDirective(text string) (d ignoreDirective, ok bool) {
+	text = strings.TrimSpace(text)
+	var rest string
+	switch {
+	case cutDirectivePrefix(text, fileIgnorePrefix, &rest):
+		d.FileWide = true
+	case cutDirectivePrefix(text, ignorePrefix, &rest):
+	default:
+		return ignoreDirective{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		d.Malformed = true
+		return d, true
+	}
+	rules := strings.Split(fields[0], ",")
+	for _, r := range rules {
+		if r == "" {
+			d.Malformed = true
+			return d, true
+		}
+	}
+	d.Rules = rules
+	d.Reason = strings.Join(fields[1:], " ")
+	return d, true
+}
+
+// cutDirectivePrefix strips the directive prefix when it is followed by
+// whitespace or the end of the comment; "//lint:ignoreme" is an ordinary
+// comment, not a (malformed) directive.
+func cutDirectivePrefix(text, prefix string, rest *string) bool {
+	r, found := strings.CutPrefix(text, prefix)
+	if !found {
+		return false
+	}
+	if r != "" && r[0] != ' ' && r[0] != '\t' {
+		return false
+	}
+	*rest = r
+	return true
+}
+
 // ignoreIndex holds every well-formed directive of one package, plus
 // diagnostics for the malformed ones.
 type ignoreIndex struct {
@@ -33,20 +92,12 @@ func buildIgnoreIndex(pkg *Package) *ignoreIndex {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(c.Text)
-				var fileWide bool
-				var rest string
-				switch {
-				case strings.HasPrefix(text, fileIgnorePrefix):
-					fileWide, rest = true, text[len(fileIgnorePrefix):]
-				case strings.HasPrefix(text, ignorePrefix):
-					fileWide, rest = false, text[len(ignorePrefix):]
-				default:
+				d, ok := parseIgnoreDirective(c.Text)
+				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
+				if d.Malformed {
 					idx.malformed = append(idx.malformed, Diagnostic{
 						Rule:    "lint",
 						Pos:     pos,
@@ -54,9 +105,8 @@ func buildIgnoreIndex(pkg *Package) *ignoreIndex {
 					})
 					continue
 				}
-				rules := strings.Split(fields[0], ",")
-				if fileWide {
-					idx.file[pos.Filename] = append(idx.file[pos.Filename], rules...)
+				if d.FileWide {
+					idx.file[pos.Filename] = append(idx.file[pos.Filename], d.Rules...)
 					continue
 				}
 				lines := idx.line[pos.Filename]
@@ -64,7 +114,7 @@ func buildIgnoreIndex(pkg *Package) *ignoreIndex {
 					lines = map[int][]string{}
 					idx.line[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], rules...)
+				lines[pos.Line] = append(lines[pos.Line], d.Rules...)
 			}
 		}
 	}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzParseIgnoreDirective throws arbitrary comment text at the
+// suppression-directive parser and checks its structural invariants:
+// the classification is total and deterministic, well-formed results
+// are internally consistent, and a well-formed parse survives being
+// rendered back to canonical directive text and reparsed.
+func FuzzParseIgnoreDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:ignore norand fixture needs raw randomness",
+		"//lint:file-ignore norand whole file is a shim",
+		"//lint:ignore norand,seedmix two rules one stone",
+		"//lint:ignore norand", // missing reason
+		"//lint:ignore",        // missing everything
+		"//lint:file-ignore",   // ditto, file-wide
+		"//lint:ignoreme not a directive at all",
+		"//lint:ignore norand,, empty rule in the list",
+		"//lint:ignore ,norand leading empty rule",
+		"// ordinary comment",
+		"//lint:ignore\tnorand\ttabs as separators",
+		"   //lint:ignore norand leading space",
+		"/* block comment */",
+		"//lint:hotpath marker, not a suppression",
+		"//lint:ignore norand reason with // nested slashes",
+		"",
+	} {
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := parseIgnoreDirective(text)
+
+		// Deterministic: same input, same answer.
+		d2, ok2 := parseIgnoreDirective(text)
+		if ok != ok2 || !reflect.DeepEqual(d, d2) {
+			t.Fatalf("nondeterministic parse of %q: (%v,%v) vs (%v,%v)", text, d, ok, d2, ok2)
+		}
+
+		if !ok {
+			if d.Malformed || d.Rules != nil || d.Reason != "" || d.FileWide {
+				t.Fatalf("non-directive %q returned non-zero directive %+v", text, d)
+			}
+			// Nothing without the directive marker may classify as one —
+			// and conversely anything rejected must lack the marker form.
+			return
+		}
+
+		trimmed := strings.TrimSpace(text)
+		if !strings.HasPrefix(trimmed, ignorePrefix) && !strings.HasPrefix(trimmed, fileIgnorePrefix) {
+			t.Fatalf("%q classified as directive without the prefix", text)
+		}
+
+		if d.Malformed {
+			if d.Rules != nil || d.Reason != "" {
+				t.Fatalf("malformed directive %q carries rules/reason: %+v", text, d)
+			}
+			return
+		}
+
+		// Well-formed invariants: at least one rule, no empty rule, no
+		// whitespace or comma inside a rule, non-empty reason.
+		if len(d.Rules) == 0 {
+			t.Fatalf("well-formed directive %q has no rules", text)
+		}
+		for _, r := range d.Rules {
+			if r == "" {
+				t.Fatalf("well-formed directive %q has an empty rule", text)
+			}
+			if strings.ContainsRune(r, ',') || strings.IndexFunc(r, unicode.IsSpace) >= 0 {
+				t.Fatalf("rule %q of %q contains separator characters", r, text)
+			}
+		}
+		if d.Reason == "" {
+			t.Fatalf("well-formed directive %q has no reason", text)
+		}
+
+		// Round-trip: rendering the parse back to canonical text and
+		// reparsing must reproduce it exactly.
+		prefix := ignorePrefix
+		if d.FileWide {
+			prefix = fileIgnorePrefix
+		}
+		rendered := prefix + " " + strings.Join(d.Rules, ",") + " " + d.Reason
+		rd, rok := parseIgnoreDirective(rendered)
+		if !rok || !reflect.DeepEqual(rd, d) {
+			t.Fatalf("round-trip failed: %q → %+v → %q → (%+v, %v)", text, d, rendered, rd, rok)
+		}
+	})
+}

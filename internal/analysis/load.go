@@ -97,6 +97,21 @@ func modulePath(file string) (string, error) {
 // replaced with empty packages.
 func (l *Loader) Stubs() []string { return l.stubs }
 
+// Packages returns every package this loader has type-checked so far
+// (including ones pulled in as module-local imports of an explicitly
+// requested directory), sorted by import path. BuildModule over this
+// set gives the interprocedural layer the complete body inventory.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.byDir))
+	for _, pkg := range l.byDir {
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out
+}
+
 // LoadAll walks every package directory under root (skipping testdata,
 // hidden and vendor directories) and returns the loaded packages in
 // sorted directory order. Directories without non-test Go files are

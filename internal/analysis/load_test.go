@@ -49,7 +49,11 @@ func TestLoadModule(t *testing.T) {
 }
 
 // TestRunCleanOnModule is the in-process version of the make-check gate:
-// every analyzer must be clean over the whole repository.
+// every analyzer must be clean over the whole repository. The module is
+// built once over every loaded package and shared across the per-package
+// passes, exactly as cmd/simlint does — the interprocedural analyzers
+// need the cross-package bodies (a single-package view would treat
+// module-local callees as unverifiable externals).
 func TestRunCleanOnModule(t *testing.T) {
 	loader, err := NewLoader(".")
 	if err != nil {
@@ -59,8 +63,9 @@ func TestRunCleanOnModule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	mod := BuildModule(loader.Packages())
 	for _, pkg := range pkgs {
-		diags, err := Run(pkg, Analyzers())
+		diags, err := RunPackage(pkg, Analyzers(), RunOptions{Mod: mod})
 		if err != nil {
 			t.Fatal(err)
 		}

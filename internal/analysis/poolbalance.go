@@ -19,6 +19,14 @@ import (
 // its acquire balances out, where the old lexical-dominance walk could
 // not tell. Function literals are analyzed as independent functions,
 // matching the worker-pool closures that each own a scratch.
+//
+// Acquires and releases are tracked through helper calls using the
+// interprocedural summaries (summary.go): assigning the result of a
+// helper whose summary says it returns a fresh scratch counts as an
+// acquire, and passing the scratch to a helper that forwards it to
+// putScratch counts as a release. A helper that acquires and hands the
+// scratch to its caller via `return e.getScratch()` transfers ownership
+// and is not itself flagged.
 var PoolBalance = &Analyzer{
 	Name: "poolbalance",
 	Doc: "every getScratch()/pool.Get() must have a matching putScratch()/pool.Put() " +
@@ -54,8 +62,15 @@ type acquire struct {
 	stmt *ast.AssignStmt
 }
 
+// poolCtx bundles what acquire/release matching needs: the package's
+// type info plus the module summaries that see through helper calls.
+type poolCtx struct {
+	info *types.Info
+	mod  *Module
+}
+
 func checkPoolBalance(pass *Pass, body *ast.BlockStmt) {
-	info := pass.Pkg.Info
+	c := &poolCtx{info: pass.Pkg.Info, mod: pass.Mod}
 
 	var acquires []acquire
 	seen := map[types.Object]bool{}
@@ -64,11 +79,11 @@ func checkPoolBalance(pass *Pass, body *ast.BlockStmt) {
 		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
 			return true
 		}
-		if !isAcquireCall(info, as.Rhs[0]) {
+		if !c.acquireExpr(as.Rhs[0]) {
 			return true
 		}
 		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
-			if obj := assignee(info, id); obj != nil && !seen[obj] {
+			if obj := assignee(c.info, id); obj != nil && !seen[obj] {
 				seen[obj] = true
 				acquires = append(acquires, acquire{obj: obj, stmt: as})
 			}
@@ -81,7 +96,7 @@ func checkPoolBalance(pass *Pass, body *ast.BlockStmt) {
 
 	cfg := BuildCFG(body)
 	for _, acq := range acquires {
-		checkOneAcquire(pass, info, cfg, acq)
+		checkOneAcquire(pass, c, cfg, acq)
 	}
 }
 
@@ -127,6 +142,50 @@ func isReleaseCall(info *types.Info, call *ast.CallExpr, obj types.Object) bool 
 	return mentionsObj(info, call.Args[0], obj)
 }
 
+// acquireExpr reports whether e yields a freshly acquired scratch:
+// either the literal shapes isAcquireCall knows, or a statically
+// resolved call to a module function whose summary transfers a fresh
+// scratch to its caller.
+func (c *poolCtx) acquireExpr(e ast.Expr) bool {
+	if isAcquireCall(c.info, e) {
+		return true
+	}
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee, _ := staticCallee(c.info, call)
+	fi := c.mod.FuncOf(callee)
+	return fi != nil && fi.Summary.AcquiresScratch
+}
+
+// releaseCall reports whether the call releases obj: either the literal
+// putScratch/pool.Put shapes, or a statically resolved helper whose
+// summary releases the parameter position obj is passed in.
+func (c *poolCtx) releaseCall(call *ast.CallExpr, obj types.Object) bool {
+	if isReleaseCall(c.info, call, obj) {
+		return true
+	}
+	callee, _ := staticCallee(c.info, call)
+	fi := c.mod.FuncOf(callee)
+	if fi == nil {
+		return false
+	}
+	for i, arg := range call.Args {
+		if i >= len(fi.Summary.ReleasesParams) {
+			break
+		}
+		if fi.Summary.ReleasesParams[i] && mentionsObj(c.info, arg, obj) {
+			return true
+		}
+	}
+	return false
+}
+
 // isPoolExpr reports whether e denotes a sync.Pool (by type when known,
 // by the conventional field name "pool" otherwise).
 func isPoolExpr(info *types.Info, e ast.Expr) bool {
@@ -146,11 +205,11 @@ func isPoolExpr(info *types.Info, e ast.Expr) bool {
 	return key == "pool" || strings.HasSuffix(key, ".pool")
 }
 
-func checkOneAcquire(pass *Pass, info *types.Info, cfg *CFG, acq acquire) {
+func checkOneAcquire(pass *Pass, c *poolCtx, cfg *CFG, acq acquire) {
 	// A deferred release anywhere in this function covers every exit.
 	// (The deferred call may sit inside a closure: defer func(){...}().)
 	for _, ds := range cfg.Defers {
-		if deferReleases(info, ds, acq.obj) {
+		if deferReleases(c, ds, acq.obj) {
 			return
 		}
 	}
@@ -166,13 +225,13 @@ func checkOneAcquire(pass *Pass, info *types.Info, cfg *CFG, acq acquire) {
 			InspectShallow(n, func(m ast.Node) bool {
 				switch m := m.(type) {
 				case *ast.AssignStmt:
-					if len(m.Lhs) == 1 && len(m.Rhs) == 1 && isAcquireCall(info, m.Rhs[0]) {
-						if id, ok := ast.Unparen(m.Lhs[0]).(*ast.Ident); ok && assignee(info, id) == acq.obj {
+					if len(m.Lhs) == 1 && len(m.Rhs) == 1 && c.acquireExpr(m.Rhs[0]) {
+						if id, ok := ast.Unparen(m.Lhs[0]).(*ast.Ident); ok && assignee(c.info, id) == acq.obj {
 							st = pairHeld
 						}
 					}
 				case *ast.CallExpr:
-					if isReleaseCall(info, m, acq.obj) {
+					if c.releaseCall(m, acq.obj) {
 						st = pairFree
 					}
 				}
@@ -203,11 +262,12 @@ func checkOneAcquire(pass *Pass, info *types.Info, cfg *CFG, acq acquire) {
 }
 
 // deferReleases reports whether the deferred statement releases obj,
-// either directly (defer e.putScratch(s)) or inside a deferred closure.
-func deferReleases(info *types.Info, ds *ast.DeferStmt, obj types.Object) bool {
+// either directly (defer e.putScratch(s)), through a releasing helper,
+// or inside a deferred closure.
+func deferReleases(c *poolCtx, ds *ast.DeferStmt, obj types.Object) bool {
 	found := false
 	ast.Inspect(ds, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isReleaseCall(info, call, obj) {
+		if call, ok := n.(*ast.CallExpr); ok && c.releaseCall(call, obj) {
 			found = true
 		}
 		return !found

@@ -1,0 +1,544 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// summary.go computes per-function effect summaries over the call graph
+// (callgraph.go). A summary has two layers:
+//
+//   - Direct facts, read straight off the body: allocation sites (the
+//     full catalogue hotalloc reports — make/new, map/slice/closure
+//     literals, growing appends, interface boxing at call boundaries,
+//     string concatenation, goroutine spawns, plus calls the analysis
+//     cannot see through: dynamic calls and non-allowlisted external
+//     functions), lock acquire/release, ctx checks, clock and math/rand
+//     reads, and the scratch-pool acquire/release shapes poolbalance
+//     pairs up.
+//   - Transitive facts, propagated through static call edges to a fixed
+//     point: every boolean is monotone (false → true only), and
+//     ReleasesParams flows through argument positions, so the worklist
+//     terminates.
+//
+// Effects inside nested function literals are deliberately NOT effects
+// of the enclosing function: the literal only runs when called, calling
+// it is a dynamic call, and creating it is already summarized as a
+// closure allocation. This keeps the lattice simple and errs on the
+// side the analyzers want (hotalloc flags the closure itself).
+
+// An AllocSite is one statement or expression that may allocate on the
+// heap (or that the analysis cannot prove allocation-free).
+type AllocSite struct {
+	Pos token.Pos
+	// What describes the site for diagnostics, e.g. "make([]uint32)"
+	// or "call to fmt.Sprintf (external, not proven allocation-free)".
+	What string
+}
+
+// A Summary is one function's effect summary.
+type Summary struct {
+	// Allocs lists the direct allocation sites of this body, in source
+	// order.
+	Allocs []AllocSite
+
+	// Transitive effects (direct or through any static callee chain).
+	Allocates       bool // has an alloc site, or calls something that does
+	SpawnsGoroutine bool // executes a go statement
+	ReadsClock      bool // calls time.Now / time.Since
+	UsesMathRand    bool // references math/rand or math/rand/v2
+	ChecksCtx       bool // consults ctx.Err()/ctx.Done() on a context value
+	AcquiresLock    bool // calls Lock/RLock on a sync (RW)Mutex
+	ReleasesLock    bool // calls Unlock/RUnlock on a sync (RW)Mutex
+
+	// Pool-pairing shapes (poolbalance): AcquiresScratch marks a
+	// function whose return value is a freshly acquired scratch
+	// (directly `return e.getScratch()` or through such a helper);
+	// ReleasesParams[i] marks a function that passes its i-th parameter
+	// to putScratch/pool.Put (directly or through such a helper).
+	AcquiresScratch bool
+	ReleasesParams  []bool
+}
+
+// hotallocExternPkgAllow lists external packages every function of which
+// is trusted allocation-free on the hot path: pure-ALU math and the
+// atomic intrinsics.
+var hotallocExternPkgAllow = map[string]bool{
+	"sync/atomic": true,
+	"math":        true,
+	"math/bits":   true,
+}
+
+// hotallocExternFuncAllow lists individually trusted external functions
+// (in-place algorithms over caller-owned storage). Notably absent:
+// slices.Clone and friends, which exist to allocate.
+var hotallocExternFuncAllow = map[string]bool{
+	"slices.Sort":         true,
+	"slices.BinarySearch": true,
+	"cmp.Compare":         true,
+	"cmp.Less":            true,
+}
+
+// externAllocFree reports whether a callee without a loaded body is
+// trusted not to allocate.
+func externAllocFree(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return true // error.Error and friends resolve pkg-less; dynamic anyway
+	}
+	if hotallocExternPkgAllow[pkg.Path()] {
+		return true
+	}
+	return hotallocExternFuncAllow[pkg.Path()+"."+fn.Name()]
+}
+
+// summarizeDirect fills fi.Summary with the facts visible in fi's own
+// body (no propagation yet). The module is needed to classify callees:
+// module-local functions contribute through call edges, everything else
+// is trusted or flagged on the spot.
+func summarizeDirect(fi *FuncInfo, mod *Module) {
+	info := fi.Pkg.Info
+	s := &fi.Summary
+	s.ReleasesParams = make([]bool, paramCount(fi))
+
+	// Appends in the canonical amortized-growth form `x = append(x, …)`
+	// reuse (and at steady state never grow) their destination; they are
+	// the one append shape the hot path is allowed. Collect them first so
+	// the expression walk below can exempt them.
+	amortized := map[*ast.CallExpr]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || calleeName(call) != "append" || len(call.Args) == 0 {
+				continue
+			}
+			dst := exprKey(ast.Unparen(as.Lhs[i]))
+			if dst != "" && dst == exprKey(ast.Unparen(call.Args[0])) {
+				amortized[call] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.alloc(n.Pos(), "function literal (closure) allocation")
+			return false // the literal's body is its own function
+		case *ast.GoStmt:
+			s.SpawnsGoroutine = true
+			s.alloc(n.Pos(), "go statement (goroutine spawn)")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					s.alloc(n.Pos(), "heap-allocated composite literal (&T{…})")
+				}
+			}
+		case *ast.CompositeLit:
+			switch typeOf(info, n).Underlying().(type) {
+			case *types.Map:
+				s.alloc(n.Pos(), "map literal allocation")
+			case *types.Slice:
+				s.alloc(n.Pos(), "slice literal allocation")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(typeOf(info, n.X)) {
+				s.alloc(n.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(typeOf(info, n.Lhs[0])) {
+				s.alloc(n.Pos(), "string concatenation")
+			}
+		case *ast.SelectorExpr:
+			if pn, ok := info.Uses[selRootIdent(n)].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "math/rand", "math/rand/v2":
+					s.UsesMathRand = true
+				}
+			}
+		case *ast.CallExpr:
+			summarizeCall(fi, mod, n, amortized)
+		}
+		return true
+	})
+	summarizePairing(fi)
+}
+
+// summarizeCall classifies one call expression: builtin allocators,
+// allocating conversions, clock/ctx/lock effects, interface boxing at
+// the call boundary, and calls the analysis cannot see through.
+func summarizeCall(fi *FuncInfo, mod *Module, call *ast.CallExpr, amortized map[*ast.CallExpr]bool) {
+	info := fi.Pkg.Info
+	s := &fi.Summary
+
+	// Conversions: string ↔ byte/rune slice copies allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := tv.Type, typeOf(info, call.Args[0])
+		switch {
+		case isStringType(dst) && isSliceType(src):
+			s.alloc(call.Pos(), "string(…) conversion from a slice")
+		case isSliceType(dst) && isStringType(src):
+			s.alloc(call.Pos(), "[]byte/[]rune(…) conversion from a string")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				s.alloc(call.Pos(), "make(…)")
+			case "new":
+				s.alloc(call.Pos(), "new(…)")
+			case "append":
+				if !amortized[call] {
+					s.alloc(call.Pos(), "append into a fresh slice (only `x = append(x, …)` amortizes)")
+				}
+			}
+			return
+		}
+	}
+
+	// Clock, ctx and lock effects by shape.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if (sel.Sel.Name == "Now" || sel.Sel.Name == "Since") && pkgIdent(info, sel.X, "time") {
+			s.ReadsClock = true
+		}
+		if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContextType(typeOf(info, sel.X)) {
+			s.ChecksCtx = true
+		}
+		if isMutexExpr(info, sel.X) {
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				s.AcquiresLock = true
+			case "Unlock", "RUnlock":
+				s.ReleasesLock = true
+			}
+		}
+	}
+
+	callee, dynamic := staticCallee(info, call)
+	if dynamic {
+		s.alloc(call.Pos(), "dynamic call (function value or interface method); cannot be proven allocation-free")
+		return
+	}
+	if callee != nil && mod.FuncOf(callee) == nil {
+		// Callee with no loaded body: trust the allowlist, flag
+		// everything else. Module-local callees with bodies contribute
+		// their own sites through the call graph instead.
+		if !externAllocFree(callee) {
+			s.alloc(call.Pos(), fmt.Sprintf("call to %s (external, not proven allocation-free)", externName(callee)))
+		}
+	}
+
+	// Interface boxing: a concrete argument passed to an interface-typed
+	// parameter is boxed at the call boundary.
+	sig := callSignature(info, call)
+	if sig == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !isBoxingParam(pt) {
+			continue
+		}
+		at := typeOf(info, arg)
+		if at == nil || types.IsInterface(at) || isNilExpr(info, arg) {
+			continue
+		}
+		s.alloc(arg.Pos(), "interface boxing at call boundary (concrete value passed as interface)")
+	}
+}
+
+// summarizePairing fills the scratch-pool shapes: a body that returns a
+// direct acquire, and parameters passed to a direct release. Transitive
+// helper chains are handled by propagateSummaries.
+func summarizePairing(fi *FuncInfo) {
+	info := fi.Pkg.Info
+	s := &fi.Summary
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isDirectAcquire(info, res) {
+					s.AcquiresScratch = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || len(n.Args) != 1 {
+				return true
+			}
+			release := sel.Sel.Name == "putScratch" ||
+				(sel.Sel.Name == "Put" && isPoolExpr(info, sel.X))
+			if !release {
+				return true
+			}
+			if i := paramIndexOf(fi, info, n.Args[0]); i >= 0 {
+				s.ReleasesParams[i] = true
+			}
+		}
+		return true
+	})
+}
+
+// propagateSummaries runs the boolean effect lattice to a fixed point
+// over the call graph: each pass ors every callee's transitive bits into
+// its callers, and flows ReleasesParams through argument positions and
+// AcquiresScratch through returned helper calls. All facts only ever go
+// false → true, so the iteration terminates.
+func propagateSummaries(mod *Module) {
+	for _, fi := range mod.Funcs {
+		fi.Summary.Allocates = len(fi.Summary.Allocs) > 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range mod.Funcs {
+			s := &fi.Summary
+			for _, edge := range fi.Callees {
+				callee := edge.Info
+				if callee == nil {
+					continue
+				}
+				cs := &callee.Summary
+				changed = orInto(&s.Allocates, cs.Allocates) || changed
+				changed = orInto(&s.SpawnsGoroutine, cs.SpawnsGoroutine) || changed
+				changed = orInto(&s.ReadsClock, cs.ReadsClock) || changed
+				changed = orInto(&s.UsesMathRand, cs.UsesMathRand) || changed
+				changed = orInto(&s.AcquiresLock, cs.AcquiresLock) || changed
+				changed = orInto(&s.ReleasesLock, cs.ReleasesLock) || changed
+				// ChecksCtx flows only when the caller hands the callee a
+				// context to check.
+				if cs.ChecksCtx && callPassesContext(fi.Pkg.Info, edge.Call) {
+					changed = orInto(&s.ChecksCtx, true) || changed
+				}
+				// ReleasesParams: passing parameter i where the callee
+				// releases makes this function release parameter i too.
+				for j, arg := range edge.Call.Args {
+					if j >= len(cs.ReleasesParams) || !cs.ReleasesParams[j] {
+						continue
+					}
+					if i := paramIndexOf(fi, fi.Pkg.Info, arg); i >= 0 && !s.ReleasesParams[i] {
+						s.ReleasesParams[i] = true
+						changed = true
+					}
+				}
+			}
+			// AcquiresScratch through a returned helper call.
+			if !s.AcquiresScratch && returnsAcquiringCall(fi, mod) {
+				s.AcquiresScratch = true
+				changed = true
+			}
+		}
+	}
+}
+
+func orInto(dst *bool, src bool) bool {
+	if src && !*dst {
+		*dst = true
+		return true
+	}
+	return false
+}
+
+// returnsAcquiringCall reports whether some return statement of fi
+// returns a call to a helper whose summary says it acquires.
+func returnsAcquiringCall(fi *FuncInfo, mod *Module) bool {
+	info := fi.Pkg.Info
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return !found
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			callee, _ := staticCallee(info, call)
+			if helper := mod.FuncOf(callee); helper != nil && helper.Summary.AcquiresScratch {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callPassesContext reports whether any argument of the call is
+// context-typed (the handle the callee's ctx check runs on).
+func callPassesContext(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContextType(typeOf(info, arg)) {
+			return true
+		}
+	}
+	return false
+}
+
+// paramIndexOf maps an argument expression to the index of the function
+// parameter it denotes, or -1 (receivers and locals are not parameters).
+func paramIndexOf(fi *FuncInfo, info *types.Info, arg ast.Expr) int {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	i := 0
+	if fi.Decl.Type.Params == nil {
+		return -1
+	}
+	for _, field := range fi.Decl.Type.Params.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return -1
+}
+
+// paramCount returns the number of (named or anonymous) parameters.
+func paramCount(fi *FuncInfo) int {
+	n := 0
+	if fi.Decl.Type.Params == nil {
+		return 0
+	}
+	for _, field := range fi.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			n++
+			continue
+		}
+		n += len(field.Names)
+	}
+	return n
+}
+
+// isDirectAcquire matches the literal acquire shapes poolbalance knows:
+// e.getScratch() and pool.Get() (optionally type-asserted).
+func isDirectAcquire(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "getScratch":
+		return true
+	case "Get":
+		return isPoolExpr(info, sel.X)
+	}
+	return false
+}
+
+// externName renders an external function for diagnostics.
+func externName(fn *types.Func) string {
+	if pkg := fn.Pkg(); pkg != nil {
+		return pkg.Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// typeOf returns the static type of e, or nil.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isBoxingParam reports whether passing a concrete value for a parameter
+// of this type boxes it: true interface types only — a type parameter's
+// underlying is an interface but instantiation makes it concrete.
+func isBoxingParam(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isTP := t.(*types.TypeParam); isTP {
+		return false
+	}
+	return types.IsInterface(t)
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func (s *Summary) alloc(pos token.Pos, what string) {
+	s.Allocs = append(s.Allocs, AllocSite{Pos: pos, What: what})
+}
+
+// selRootIdent returns the leftmost identifier of a selector chain.
+func selRootIdent(sel *ast.SelectorExpr) *ast.Ident {
+	e := ast.Expr(sel)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}

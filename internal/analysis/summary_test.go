@@ -1,0 +1,74 @@
+package analysis
+
+import "testing"
+
+func TestSummaryAllocationFacts(t *testing.T) {
+	mod := fixtureModule(t, "hotalloc")
+
+	// Direct sites land on the function that owns them.
+	if fi := findFunc(t, mod, "directRoot"); len(fi.Summary.Allocs) != 1 {
+		t.Errorf("directRoot direct sites = %d, want 1", len(fi.Summary.Allocs))
+	}
+	// Transitive Allocates propagates up the chain; the roots have no
+	// direct sites of their own.
+	for _, name := range []string{"oneDeepRoot", "deepRoot", "mid"} {
+		fi := findFunc(t, mod, name)
+		if len(fi.Summary.Allocs) != 0 {
+			t.Errorf("%s: direct sites = %v, want none", name, fi.Summary.Allocs)
+		}
+		if !fi.Summary.Allocates {
+			t.Errorf("%s: Allocates not propagated", name)
+		}
+	}
+	// work() is empty: reachable from a hot root but allocation-free.
+	if fi := findFunc(t, mod, "work"); fi.Summary.Allocates {
+		t.Error("work: Allocates = true, want false")
+	}
+	// The catalogue root spawns a goroutine.
+	if fi := findFunc(t, mod, "catalogue"); !fi.Summary.SpawnsGoroutine {
+		t.Error("catalogue: SpawnsGoroutine = false")
+	}
+}
+
+func TestSummaryPoolPairing(t *testing.T) {
+	mod := fixtureModule(t, "poolbalance")
+
+	for name, want := range map[string]bool{
+		"engine.freshScratch":  true, // direct return of getScratch
+		"engine.freshIndirect": true, // propagated through freshScratch
+		"engine.getScratch":    true, // direct return of pool.Get
+		"engine.recycle":       false,
+		"engine.inspect":       false,
+	} {
+		if got := findFunc(t, mod, name).Summary.AcquiresScratch; got != want {
+			t.Errorf("%s: AcquiresScratch = %v, want %v", name, got, want)
+		}
+	}
+	for name, want := range map[string]bool{
+		"engine.putScratch":      true, // direct pool release of the param
+		"engine.recycle":         true, // forwards to putScratch
+		"engine.recycleIndirect": true, // two hops
+		"engine.inspect":         false,
+	} {
+		fi := findFunc(t, mod, name)
+		got := len(fi.Summary.ReleasesParams) > 0 && fi.Summary.ReleasesParams[0]
+		if got != want {
+			t.Errorf("%s: ReleasesParams[0] = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSummaryChecksCtx(t *testing.T) {
+	mod := fixtureModule(t, "ctxflow")
+
+	for name, want := range map[string]bool{
+		"stop":         true, // direct ctx.Err()
+		"stopIndirect": true, // propagated: passes ctx to stop
+		"sleepCtx":     true, // select on ctx.Done()
+		"busy":         false,
+	} {
+		if got := findFunc(t, mod, name).Summary.ChecksCtx; got != want {
+			t.Errorf("%s: ChecksCtx = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -128,3 +128,65 @@ func suppressedPump(ch chan int) {
 		ch <- 1
 	}
 }
+
+// --- interprocedural cases: the loop's ctx check lives in a helper ---
+
+// stop consults the context; its summary records ChecksCtx, so loops
+// that hand it their ctx are stoppable.
+func stop(ctx context.Context) bool { return ctx.Err() != nil }
+
+// stopIndirect checks through one more hop (summary propagation).
+func stopIndirect(ctx context.Context) bool { return stop(ctx) }
+
+// busy receives a ctx and ignores it — passing ctx here checks nothing.
+func busy(ctx context.Context, ch chan int) { ch <- 1 }
+
+// okHelperLoop: the cancellation check happens inside stop.
+func okHelperLoop(ctx context.Context, ch chan int) {
+	for {
+		if stop(ctx) {
+			return
+		}
+		ch <- 1
+	}
+}
+
+// okHelperLoopDeep: the check is two calls away; the summaries carry it.
+func okHelperLoopDeep(ctx context.Context, ch chan int) {
+	for {
+		if stopIndirect(ctx) {
+			return
+		}
+		ch <- 1
+	}
+}
+
+// badHelperLoop mentions ctx only by passing it to a helper that never
+// consults it; the loop is still unstoppable.
+func badHelperLoop(ctx context.Context, ch chan int) {
+	for { // want "never checks ctx.Err"
+		busy(ctx, ch)
+	}
+}
+
+// okExternLoop: a callee without a loaded body is trusted to honor the
+// ctx it receives (its source is not available to prove otherwise).
+func okExternLoop(ctx context.Context, d time.Duration) {
+	for {
+		if sleepCtx(ctx, d) {
+			return
+		}
+	}
+}
+
+// sleepCtx stands in for an extern-ish helper; it does check.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return true
+	case <-t.C:
+		return false
+	}
+}

@@ -1,0 +1,14 @@
+// Package dep is the cross-package leg of the hotalloc fixture's call
+// chains: its allocation is reached two calls deep from a marked root
+// in the parent fixture package.
+package dep
+
+var sink []float64
+
+// Grow allocates; the diagnostic must carry the full chain from the
+// hotalloc fixture's deepRoot.
+func Grow(n int) float64 {
+	buf := make([]float64, n) // want "deepRoot → mid → Grow"
+	sink = buf
+	return float64(len(buf))
+}

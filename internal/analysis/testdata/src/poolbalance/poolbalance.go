@@ -104,3 +104,51 @@ func (e *engine) leakLoopConditional(xs []int) int {
 	}
 	return 0
 }
+
+// --- interprocedural cases: acquires and releases through helpers ---
+
+// freshScratch transfers a fresh scratch to its caller; its summary
+// marks it as an acquiring helper, and the direct-return shape means it
+// owes no release itself.
+func (e *engine) freshScratch() *scratch { return e.getScratch() }
+
+// freshIndirect transfers through two hops (summary propagation).
+func (e *engine) freshIndirect() *scratch { return e.freshScratch() }
+
+// recycle releases its parameter; callers passing a scratch to it are
+// balanced.
+func (e *engine) recycle(s *scratch) { e.putScratch(s) }
+
+// recycleIndirect forwards its parameter to a releasing helper.
+func (e *engine) recycleIndirect(s *scratch) { e.recycle(s) }
+
+// okHelperPair acquires and releases entirely through helpers.
+func (e *engine) okHelperPair() int {
+	s := e.freshScratch()
+	n := len(s.buf)
+	e.recycle(s)
+	return n
+}
+
+// okHelperPairDeep: both sides two hops deep, release deferred.
+func (e *engine) okHelperPairDeep() int {
+	s := e.freshIndirect()
+	defer e.recycleIndirect(s)
+	return len(s.buf)
+}
+
+// leakHelperAcquire: acquiring through a helper is still an acquire, so
+// dropping the scratch is still a leak.
+func (e *engine) leakHelperAcquire() int {
+	s := e.freshScratch() // want "not released"
+	return len(s.buf)
+}
+
+// leakHelperNoRelease: passing the scratch to a helper that does NOT
+// release it balances nothing.
+func (e *engine) leakHelperNoRelease() {
+	s := e.freshScratch() // want "not released"
+	e.inspect(s)
+}
+
+func (e *engine) inspect(s *scratch) { _ = len(s.buf) }

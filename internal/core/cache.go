@@ -112,6 +112,8 @@ func (c *tallyCache) shard(v uint32) *tallyShard {
 
 // get returns the cached tally for v, or nil. Lock-free; counts a hit or
 // miss.
+//
+//lint:hotpath cache hit path, consulted before every candidate simulation
 func (c *tallyCache) get(v uint32) *tallyEntry {
 	if ent := c.slots[v].Load(); ent != nil {
 		if !ent.ref.Load() {

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file is the dynamic half of the //lint:hotpath contract. The
+// static half is simlint's hotalloc analyzer, which proves at build time
+// that no allocation site is reachable from a marked kernel; here
+// testing.AllocsPerRun re-checks the same kernels at runtime, so the
+// static gate and the allocator must agree. AllocsPerRun's warm-up
+// invocation absorbs the amortized scratch growth (the two suppressed
+// make sites in scratch.go); the measured runs must then be exactly
+// zero. A marker-coverage scan at the bottom pins the marked set, so
+// adding //lint:hotpath to a new kernel without extending this test
+// fails loudly.
+
+// hotpathMarked lists every function carrying //lint:hotpath, keyed by
+// "file-package.name", and doubles as this test's work list.
+var hotpathKernels = []string{
+	"core.buildFullTally",
+	"core.buildRoughTally",
+	"core.dotTally",
+	"core.get",
+	"core.simulateCandWalks",
+	"core.singleWalk",
+	"core.stepWalks",
+	"graph.StepWalks",
+}
+
+func TestHotpathKernelsAllocFree(t *testing.T) {
+	g := graph.CopyingModel(2000, 8, 0.3, 1)
+	p := DefaultParams()
+	p.Seed = 1
+	e := Build(g, p)
+	s := e.getScratch()
+	defer e.putScratch(s)
+
+	R, Rr, T := e.p.RScore, e.p.RRough, e.p.T
+	u, v := uint32(1), uint32(3)
+	var sink float64
+
+	check := func(name string, runs int, f func()) {
+		t.Helper()
+		if allocs := testing.AllocsPerRun(runs, f); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+
+	// stepWalks covers graph.StepWalks (it is a thin wrapper over it).
+	pos := s.walkBuf(R)
+	lane := s.laneBuf(R)
+	check("stepWalks", 50, func() {
+		resetWalks(pos, u)
+		s.rng.Seed(e.candSeed(u))
+		for t := 1; t < T; t++ {
+			stepWalks(e.wt, &s.rng, pos, lane)
+		}
+	})
+
+	out := make([]uint32, T+1)
+	check("singleWalk", 50, func() {
+		s.rng.Seed(e.candSeed(u))
+		singleWalk(e.wt, &s.rng, u, T, out)
+	})
+
+	check("simulateCandWalks+buildFullTally+buildRoughTally", 20, func() {
+		s.rng.Seed(e.candSeed(v))
+		e.simulateCandWalks(s, v, 0, R, R)
+		e.buildFullTally(s, v, R, Rr, R)
+		e.buildRoughTally(s, v, Rr, R)
+	})
+
+	// dotTally needs a query-side distribution and a full tally view.
+	var wd walkDist
+	s.rng.Seed(e.candSeed(u))
+	e.sampleWalkDistInto(&wd, s, u, R, &s.rng)
+	s.rng.Seed(e.candSeed(v))
+	e.simulateCandWalks(s, v, 0, R, R)
+	rsteps := e.buildFullTally(s, v, R, Rr, R)
+	invR := 1 / float64(R)
+	check("dotTally", 100, func() {
+		sink += e.dotTally(&wd, s.tallyOff, s.tallyV, s.tallyCnt, invR, T)
+	})
+
+	// The cache hit path.
+	c := newTallyCache(g.N(), 1<<20)
+	c.put(newTallyEntry(v, rsteps, s))
+	check("tallyCache.get", 100, func() {
+		if ent := c.get(v); ent != nil {
+			sink += float64(ent.rsteps)
+		}
+	})
+
+	if sink == 0 {
+		t.Log("scores summed to zero (fine; the sink only defeats dead-code elimination)")
+	}
+}
+
+// TestHotpathMarkerCoverage scans the hot-path source directories for
+// //lint:hotpath markers and requires the marked set to equal
+// hotpathKernels, so the static root set and the dynamic alloc test
+// above cannot drift apart silently.
+func TestHotpathMarkerCoverage(t *testing.T) {
+	marked := map[string]bool{}
+	for _, dir := range []string{".", "../graph"} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			name := strings.TrimSuffix(pkg.Name, "_test")
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Doc == nil {
+						continue
+					}
+					for _, cm := range fd.Doc.List {
+						if strings.HasPrefix(strings.TrimSpace(cm.Text), "//lint:hotpath") {
+							marked[name+"."+fd.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	var got []string
+	for k := range marked {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := append([]string{}, hotpathKernels...)
+	sort.Strings(want)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("marked hot set %v != alloc-tested set %v; extend hotpathKernels and TestHotpathKernelsAllocFree", got, want)
+	}
+}

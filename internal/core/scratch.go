@@ -170,7 +170,7 @@ func (s *scratch) walkBuf2(R int) []uint32 {
 func (s *scratch) tposBuf(T, stride int) []uint32 {
 	n := T * stride
 	if cap(s.tpos) < n {
-		s.tpos = make([]uint32, n)
+		s.tpos = make([]uint32, n) //lint:ignore hotalloc amortized pooled growth; steady state reuses the scratch capacity
 	}
 	s.tpos = s.tpos[:n]
 	return s.tpos
@@ -179,7 +179,7 @@ func (s *scratch) tposBuf(T, stride int) []uint32 {
 // tallyReset prepares the compact tally view for T steps.
 func (s *scratch) tallyReset(T int) {
 	if cap(s.tallyOff) < T+1 {
-		s.tallyOff = make([]int32, T+1)
+		s.tallyOff = make([]int32, T+1) //lint:ignore hotalloc amortized pooled growth; steady state reuses the scratch capacity
 	}
 	s.tallyOff = s.tallyOff[:T+1]
 	s.tallyOff[0] = 0

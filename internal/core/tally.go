@@ -24,6 +24,8 @@ import "slices"
 // s.rng must already be seeded with candSeed(v) and positioned at walk
 // lo (walks are consumed in order, so a caller that simulated [0, lo)
 // first continues the same stream).
+//
+//lint:hotpath per-candidate walk simulation, runs R times per scored candidate
 func (e *Snapshot) simulateCandWalks(s *scratch, v uint32, lo, hi, stride int) {
 	T := e.p.T
 	tp := s.tposBuf(T, stride)
@@ -43,6 +45,8 @@ func (e *Snapshot) simulateCandWalks(s *scratch, v uint32, lo, hi, stride int) {
 // returns rsteps, the number of leading steps with nonempty support.
 // Used only on the cache-disabled rough pass; tallyCnt entries are
 // written but meaningless.
+//
+//lint:hotpath rough-pass tally tabulation, runs once per candidate
 func (e *Snapshot) buildRoughTally(s *scratch, v uint32, Rr, stride int) int {
 	T := e.p.T
 	s.tallyReset(T)
@@ -81,6 +85,8 @@ func (e *Snapshot) buildRoughTally(s *scratch, v uint32, Rr, stride int) int {
 // step at which the rough prefix has no live walks, or T. The rough
 // counts here must match buildRoughTally on the same walk prefix, which
 // they do because both read the identical tpos columns.
+//
+//lint:hotpath full tally tabulation, runs once per surviving candidate
 func (e *Snapshot) buildFullTally(s *scratch, v uint32, R, Rr, stride int) int {
 	T := e.p.T
 	s.tallyReset(T)
@@ -162,6 +168,8 @@ func newTallyEntry(v uint32, rsteps int, s *scratch) *tallyEntry {
 // the sequence of floating-point operations — and hence the result — is
 // identical. invR is 1/R for the counts' walk population; maxStep is
 // rsteps for rough estimates and T for full ones.
+//
+//lint:hotpath scoring dot product, runs on every candidate (cached or not)
 func (e *Snapshot) dotTally(wd *walkDist, off []int32, verts []uint32, counts []uint16, invR float64, maxStep int) float64 {
 	sigma := 0.0
 	ct := 1.0

@@ -259,6 +259,8 @@ const StepLane = 1024
 // neighbour pick over the live walks only, in walk order). Draw order is
 // identical to stepping the walks one by one: the gather pass consumes
 // no randomness and the compacted indices stay ascending.
+//
+//lint:hotpath batched walk-step kernel, dominates preprocessing and query cost
 func (wt *WalkTable) StepWalks(r *rng.Source, pos []uint32, lane []uint64) int {
 	alive := 0
 	for len(pos) > 0 {

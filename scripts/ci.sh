@@ -29,8 +29,13 @@ go test -shuffle=on ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Analyzer wall-clock budget (benchguard-shaped, but for the linter
+# itself): the interprocedural layer must stay cheap enough to run on
+# every merge. 6s is ~2x the committed ~2.5s runtime of the full
+# module pass; blowing it means a fixed-point loop or the call-graph
+# build regressed, which is a bug in its own right.
 echo "==> simlint ./..."
-go run ./cmd/simlint -baseline lint.baseline.json ./...
+go run ./cmd/simlint -baseline lint.baseline.json -time-budget 6s ./...
 
 # One iteration of every benchmark: catches bit-rot in bench-only code
 # paths without paying for real measurements.
