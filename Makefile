@@ -41,12 +41,16 @@ lint-baseline:
 	$(GO) run ./cmd/simlint -update-baseline ./...
 
 # Query hot-path microbenchmarks (the 100k-vertex engine build takes a
-# couple of minutes the first time).
+# couple of minutes the first time). RouterTopK lives in
+# internal/router: a routed query over a real 3-shard HTTP loopback.
+BENCH_RE := 'TopK$$|SinglePairOneSided|WalkStep|ColdStartLoad|TopKDuringRefresh|TopKZipfThroughput|RouterTopK$$'
+BENCH_PKGS := ./internal/core ./internal/router
+
 bench:
-	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|ColdStartLoad|TopKDuringRefresh|TopKZipfThroughput' -run - ./internal/core
+	$(GO) test -bench $(BENCH_RE) -run - $(BENCH_PKGS)
 
 # Regenerate the committed benchmark snapshot.
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
-	$(GO) test -bench 'TopK$$|SinglePairOneSided|WalkStep|ColdStartLoad|TopKDuringRefresh|TopKZipfThroughput' -run - ./internal/core | \
-		/tmp/benchjson -meta pkg=internal/core -o BENCH_core.json
+	$(GO) test -bench $(BENCH_RE) -run - $(BENCH_PKGS) | \
+		/tmp/benchjson -meta pkg=internal/core,internal/router -o BENCH_core.json

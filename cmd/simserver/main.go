@@ -34,6 +34,22 @@ import (
 	"repro/internal/server"
 )
 
+// parseShardSpec parses the -shard flag: "" means stand-alone (0 of 1),
+// otherwise "i/n" with 0 <= i < n.
+func parseShardSpec(s string) (shardIdx, numShards int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("-shard must look like \"i/n\", got %q", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("-shard %q out of range: need 0 <= i < n", s)
+	}
+	return i, n, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simserver: ")
@@ -48,10 +64,15 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "cross-query tally cache budget in bytes (0 = disabled); results are identical either way")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query computation deadline (0 = unlimited)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+	shardSpec := flag.String("shard", "", "serve as shard i of n, written \"i/n\" (e.g. -shard 0/3); enables owned-range /shard/* queries for a simrouter tier")
 	flag.Parse()
 
 	if *useMmap && *indexPath == "" {
 		log.Fatal("-mmap requires -load-index")
+	}
+	shardIdx, numShards, err := parseShardSpec(*shardSpec)
+	if err != nil {
+		log.Fatal(err)
 	}
 	var g *simrank.Graph
 	if *graphPath != "" {
@@ -88,7 +109,7 @@ func main() {
 			return
 		}
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, "index not ready", http.StatusServiceUnavailable)
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeNotReady, "index not ready")
 	})
 
 	buildDone := make(chan error, 1)
@@ -130,10 +151,15 @@ func main() {
 			log.Printf("preprocess in %v (%d KB)", time.Since(start).Round(time.Millisecond),
 				idx.Stats().IndexBytes/1024)
 		}
-		h := server.New(idx)
+		h := server.NewShard(idx, shardIdx, numShards)
 		h.QueryTimeout = *queryTimeout
 		ready.Store(h)
-		log.Print("ready")
+		if numShards > 1 {
+			m := h.Manifest()
+			log.Printf("ready (shard %d/%d, vertices [%d, %d))", m.Shard, m.NumShards, m.Lo, m.Hi)
+		} else {
+			log.Print("ready")
+		}
 		buildDone <- nil
 	}()
 

@@ -61,13 +61,17 @@ func runCtxFlow(pass *Pass) error {
 }
 
 // ctxScope: the packages on the query path — module root (public API
-// wrappers), internal/core (engine), internal/server (HTTP layer).
+// wrappers), internal/core (engine), internal/server (HTTP layer),
+// internal/router (scatter-gather tier; its hedged-request helper must
+// derive every attempt's context from the caller's so cancellation
+// reaches losing attempts).
 func ctxScope(pkg *Package) bool {
 	if fixturePkg(pkg) {
 		return true
 	}
 	rel, ok := modRelPath(pkg)
-	return ok && (rel == "." || rel == "internal/core" || rel == "internal/server")
+	return ok && (rel == "." || rel == "internal/core" ||
+		rel == "internal/server" || rel == "internal/router")
 }
 
 // isContextType reports whether t is context.Context.
@@ -120,20 +124,6 @@ func checkCtxFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt, inherite
 	// Rule 3 first: it applies even without a ctx in scope.
 	checkServingLoops(pass, body, ctxVars)
 
-	// Recurse into directly nested closures with the extended ctx set
-	// (each recursion handles its own nested literals).
-	ast.Inspect(body, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			checkCtxFunc(pass, lit.Type, lit.Body, ctxVars)
-			return false
-		}
-		return true
-	})
-
-	if len(ctxVars) == 0 {
-		return
-	}
-
 	// Reaching definitions are built lazily: most functions thread ctx
 	// straight through and never need them.
 	var cfg *CFG
@@ -147,6 +137,41 @@ func checkCtxFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt, inherite
 		var all []*Definition
 		rdEntry, all = ReachingDefs(cfg, info, ctxVars)
 		derivedVars = deriveCtxVars(info, ctxVars, all)
+	}
+
+	// Recurse into directly nested closures with the extended ctx set:
+	// the ctx variables visible here plus this body's ctx-derived
+	// context locals (each recursion handles its own nested literals).
+	// The locals matter for the hedged-request shape — a shared
+	// WithCancel(ctx) context bound in the enclosing function and
+	// captured by attempt closures still carries the caller's
+	// cancellation, so closure call sites passing it are compliant.
+	closureCtx := ctxVars
+	if len(ctxVars) > 0 {
+		ensureFlow()
+		for v := range derivedVars {
+			seen := false
+			for _, c := range closureCtx {
+				if c == v {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				closureCtx = append(closureCtx, v)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkCtxFunc(pass, lit.Type, lit.Body, closureCtx)
+			return false
+		}
+		return true
+	})
+
+	if len(ctxVars) == 0 {
+		return
 	}
 
 	sameFuncInspect(body, func(n ast.Node) bool {

@@ -4,32 +4,48 @@ import (
 	"go/ast"
 )
 
-// GoSpawn restricts raw goroutine creation in internal/core to the
-// approved bounded worker pools. Every concurrency site in the engine is
-// a fixed `for w := 0; w < workers; w++` fan-out whose determinism has
-// been argued once (per-vertex reseeding, per-worker scratches,
-// contiguous or cursor-based sharding); a stray `go` elsewhere — and in
-// particular one goroutine per work item inside a range loop — is both an
-// unbounded-spawn hazard and a new ordering surface that the determinism
-// tests were never written to cover.
+// GoSpawn restricts raw goroutine creation in internal/core and
+// internal/router to the approved bounded worker pools. Every
+// concurrency site in the engine is a fixed `for w := 0; w < workers;
+// w++` fan-out whose determinism has been argued once (per-vertex
+// reseeding, per-worker scratches, contiguous or cursor-based
+// sharding), and the router's scatter/hedge sites are the same shape
+// with the shard count as the bound; a stray `go` elsewhere — and in
+// particular one goroutine per work item inside a range loop — is both
+// an unbounded-spawn hazard and a new ordering surface that the
+// determinism tests were never written to cover.
 var GoSpawn = &Analyzer{
 	Name: "gospawn",
-	Doc: "raw go statements in internal/core are allowed only inside the approved " +
-		"worker-pool functions, and never one per work item",
+	Doc: "raw go statements in internal/core and internal/router are allowed only " +
+		"inside the approved worker-pool functions, and never one per work item",
 	Run: runGoSpawn,
 }
 
-// goSpawnAllow names the approved worker-pool functions: each spawns at
-// most Params.Workers goroutines from a plain counted loop.
+// goSpawnAllow names the approved worker-pool functions: each spawns a
+// bounded number of goroutines (Params.Workers, the shard count, or
+// the hedge attempt cap) from a plain counted loop or on-demand
+// launches under a fixed cap.
 var goSpawnAllow = map[string]bool{
 	"forEachIndexParallel": true, // allpairs.go: atomic-cursor work-item pool (AllTopK, TopKBatch, joins)
 	"parallelVertices":     true, // engine.go: contiguous block shards
 	"scoreBlockParallel":   true, // query.go: per-block candidate scoring
 	"startRefresher":       true, // dynamic.go: the single background snapshot builder
+	"fanout":               true, // router/hedge.go: one goroutine per shard, counted scatter
+	"hedged":               true, // router/hedge.go: launch-on-demand attempts under a fixed cap
+}
+
+// goSpawnScope: the packages whose concurrency shape is pinned — the
+// engine and the router's scatter-gather layer.
+func goSpawnScope(pkg *Package) bool {
+	if fixturePkg(pkg) {
+		return true
+	}
+	rel, ok := modRelPath(pkg)
+	return ok && (rel == "internal/core" || rel == "internal/router")
 }
 
 func runGoSpawn(pass *Pass) error {
-	if !corePackage(pass.Pkg) {
+	if !goSpawnScope(pass.Pkg) {
 		return nil
 	}
 	for _, f := range pass.Pkg.Files {

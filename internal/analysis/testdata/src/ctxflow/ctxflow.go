@@ -84,6 +84,28 @@ func (ix *index) badClosure(ctx context.Context, u int) int {
 	return f()
 }
 
+// okHedgedClosure: the hedged-request shape — a shared cancellable
+// context derived in the enclosing function and captured by attempt
+// closures still carries the caller's cancellation.
+func (ix *index) okHedgedClosure(ctx context.Context, u int) int {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	launch := func() int {
+		return ix.topKCtx(hctx, u)
+	}
+	return launch()
+}
+
+// badUnderivedCapture: a captured context local synthesized from
+// Background never carries the caller's cancellation, closure or not.
+func (ix *index) badUnderivedCapture(ctx context.Context, u int) int {
+	c := context.Background() // want "synthesized in a function that already receives"
+	f := func() int {
+		return ix.topKCtx(c, u) // want "does not derive"
+	}
+	return f()
+}
+
 // pump is an unstoppable serving loop: no ctx, no done channel.
 func pump(ch chan int) {
 	for { // want "never checks ctx.Err"

@@ -46,3 +46,42 @@ func suppressed(fn func()) {
 	//lint:ignore gospawn fixture: reasoned suppression is honoured
 	go fn()
 }
+
+// fanout is the router's approved counted scatter: one goroutine per
+// shard, the spawn count fixed before the loop.
+func fanout(n int, task func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			task(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// hedged is the router's approved launch-on-demand shape: attempts
+// spawn one at a time under a fixed cap, from a closure — attribution
+// follows the enclosing named declaration, so the go statement is
+// credited to hedged itself.
+func hedged(attempts int, try func(int)) {
+	launched := 0
+	launch := func() {
+		a := launched
+		launched++
+		go try(a)
+	}
+	launch()
+	for launched < attempts {
+		launch()
+	}
+}
+
+// scatter has the counted shape but is not an approved pool name:
+// new fan-out sites must be named into the allowlist deliberately.
+func scatter(n int, task func(int)) {
+	for i := 0; i < n; i++ {
+		go task(i) // want "outside the approved worker pools"
+	}
+}

@@ -4,9 +4,11 @@
 //
 // The paper notes the query phase is distributed-computing friendly: with
 // M machines the O(n²)-worst-case all-pairs search drops to O(n²/M).
-// A Job with Shard i of M processes exactly the vertices v ≡ i (mod M),
-// which is how the computation is split across machines or processes; the
-// shard outputs are simply concatenated.
+// A Job with Shard i of M processes exactly the contiguous vertex range
+// [i·n/M, (i+1)·n/M) — the canonical partition owned by internal/shard,
+// the same one the serving tier's router assumes — so shard outputs are
+// simply concatenated, and a batch shard's vertex set matches the
+// serving shard of the same index.
 //
 // Output format, one line per vertex (tab-separated):
 //
@@ -24,14 +26,16 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // Job describes one all-pairs run (or one shard of it).
 type Job struct {
 	Engine *core.Engine
 	K      int
-	// Shard / NumShards select the vertex subset v ≡ Shard (mod
-	// NumShards). NumShards 0 or 1 means the whole graph.
+	// Shard / NumShards select the contiguous vertex range
+	// shard.Range(Shard, NumShards, n). NumShards 0 or 1 means the
+	// whole graph.
 	Shard     int
 	NumShards int
 	// Done lists vertices already present in a previous partial output;
@@ -62,11 +66,9 @@ func Run(job Job, w io.Writer) (processed int, err error) {
 		return 0, fmt.Errorf("batch: shard %d out of range [0, %d)", job.Shard, job.NumShards)
 	}
 	n := job.Engine.Graph().N()
+	lo, hi := shard.Range(job.Shard, job.NumShards, n)
 	var todo []uint32
-	for v := 0; v < n; v++ {
-		if job.NumShards > 1 && v%job.NumShards != job.Shard {
-			continue
-		}
+	for v := lo; v < hi; v++ {
 		if job.Done[uint32(v)] {
 			continue
 		}

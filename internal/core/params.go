@@ -11,7 +11,12 @@
 //   - parallel all-vertices similarity search             -> allpairs.go
 package core
 
-import "runtime"
+import (
+	"math"
+	"runtime"
+
+	"repro/internal/rng"
+)
 
 // CandidateStrategy selects how the query phase enumerates candidate
 // vertices before pruning.
@@ -181,6 +186,45 @@ func (p Params) normalized() Params {
 		p.Workers = runtime.GOMAXPROCS(0)
 	}
 	return p
+}
+
+// Fingerprint digests every result-affecting parameter into 64 bits,
+// for shard manifests: two snapshots with equal graph fingerprint, equal
+// Seed, and equal parameter fingerprint produce byte-identical query
+// results, so a router refuses to merge fragments across mismatched
+// fingerprints. CacheBytes and Workers are deliberately excluded — both
+// change where work happens, never what a query returns (the
+// determinism suite pins that invariant).
+func (p Params) Fingerprint() uint64 {
+	p = p.normalized()
+	h := uint64(0x5370a2c03f1e9d4b) // arbitrary non-zero basis
+	mix := func(x uint64) { h = rng.Mix(h ^ x) }
+	bit := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	mix(math.Float64bits(p.C))
+	mix(uint64(p.T))
+	mix(uint64(p.RScore))
+	mix(uint64(p.RRough))
+	mix(uint64(p.RAlpha))
+	mix(uint64(p.RGamma))
+	mix(uint64(p.P))
+	mix(uint64(p.Q))
+	mix(math.Float64bits(p.Theta))
+	mix(uint64(p.DMax))
+	mix(uint64(int64(p.BallBudget)))
+	mix(uint64(p.Strategy))
+	mix(bit(p.DisableL1)<<3 | bit(p.DisableL2)<<2 | bit(p.DisableAdaptive)<<1 | bit(p.ExactScoring))
+	mix(uint64(p.ExactSupportCap))
+	mix(uint64(len(p.D)))
+	for _, d := range p.D {
+		mix(math.Float64bits(d))
+	}
+	mix(p.Seed)
+	return h
 }
 
 // dval returns the diagonal correction entry for vertex w.

@@ -6,6 +6,8 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/rng"
 )
 
 // QueryStats reports what the pruning machinery did during one query;
@@ -37,6 +39,11 @@ type boundedCand struct {
 // candScore is the outcome of scoring one candidate.
 type candScore struct {
 	score float64
+	// rough is the adaptive first-pass estimate, valid for candScored and
+	// candRoughPruned (the paths that ran a rough phase). The shard-serving
+	// tier ships it to the router so the rough-prune decision can be
+	// replayed against any floor (shard.go).
+	rough float64
 	state uint8
 	// cache records the tally-cache interaction (cacheNone when the
 	// cache is disabled or the exact path answered); evicted counts
@@ -46,8 +53,9 @@ type candScore struct {
 }
 
 const (
-	candScored      = uint8(iota) // full estimate in score
-	candRoughPruned               // cut by the rough adaptive estimate
+	candScored        = uint8(iota) // full estimate in score, rough pass ran
+	candRoughPruned                 // cut by the rough adaptive estimate
+	candScoredNoRough               // full estimate in score, no rough pass (exact scoring or DisableAdaptive)
 )
 
 const (
@@ -131,39 +139,8 @@ func (e *Snapshot) search(ctx context.Context, u uint32, k int, theta float64, w
 	defer e.putScratch(qs)
 	r := e.queryRNG(u)
 
-	// Local distances around the query, used by the L1 and distance
-	// bounds and by the ball candidate strategies. The ball budget keeps
-	// this BFS local on high-expansion graphs; truncation only weakens
-	// the L1/distance bounds (candidates fall back to L2), never
-	// correctness.
-	dist := qs.distBuf()
-	var truncated bool
-	qs.ball, truncated = e.g.UndirectedBallInto(u, e.p.DMax, e.p.BallBudget, dist, qs.ball[:0])
+	wd, dist, l1, exactU := e.searchProlog(qs, u, r)
 	defer qs.resetDist()
-	exploredRadius := e.p.DMax
-	if truncated && len(qs.ball) > 0 {
-		// BFS visits vertices in nondecreasing distance order, so the last
-		// ball entry carries the deepest discovered level — which may be
-		// incomplete when the budget cut the search short.
-		exploredRadius = int(dist[qs.ball[len(qs.ball)-1]]) - 1
-	}
-
-	// One batch of RAlpha walks from u serves double duty: Algorithm 2's
-	// α/β table and the u-side distribution of every candidate's
-	// single-pair estimate. In exact-scoring mode the sampled
-	// distribution is replaced by the true sparse one when its support
-	// stays under the cap.
-	wd := &qs.wd
-	exactU := false
-	if e.p.ExactScoring && e.exactWalkDistInto(wd, qs, u, e.p.ExactSupportCap) {
-		exactU = true
-	} else {
-		e.sampleWalkDistInto(wd, qs, u, e.p.RAlpha, r)
-	}
-	var l1 *l1Table
-	if !e.p.DisableL1 {
-		l1 = e.computeL1From(qs, wd, dist, exploredRadius)
-	}
 
 	cands := e.collectCandidates(qs, u, dist, qs.ball)
 	stats.Candidates = len(cands)
@@ -172,36 +149,10 @@ func (e *Snapshot) search(ctx context.Context, u uint32, k int, theta float64, w
 	// so the scan can stop at the first bound below the pruning floor.
 	bs := qs.bounds[:0]
 	for _, v := range cands {
-		ub := math.Inf(1)
-		if d := dist[v]; d >= 0 {
-			if b := e.DistanceBound(int(d)); b < ub {
-				ub = b
-			}
-			if b := l1.bound(int(d)); b < ub {
-				ub = b
-			}
-		}
-		if !e.p.DisableL2 && e.gamma != nil {
-			if b := e.L2Bound(u, v); b < ub {
-				ub = b
-			}
-		}
-		bs = append(bs, boundedCand{v, ub})
+		bs = append(bs, boundedCand{v, e.candBound(u, v, dist, l1)})
 	}
 	qs.bounds = bs
-	slices.SortFunc(bs, func(a, b boundedCand) int {
-		switch {
-		case a.ub > b.ub:
-			return -1
-		case a.ub < b.ub:
-			return 1
-		case a.v < b.v:
-			return -1
-		case a.v > b.v:
-			return 1
-		}
-		return 0
-	})
+	sortBounds(bs)
 
 	acc := newTopKAcc(k)
 	if k == 0 {
@@ -272,6 +223,88 @@ func (e *Snapshot) search(ctx context.Context, u uint32, k int, theta float64, w
 	return acc.result(), stats, nil
 }
 
+// searchProlog computes the query-local state shared by every scan mode
+// (full search and the shard-restricted variant): the bounded BFS ball
+// around u, u's walk distribution (exact when ExactScoring permits,
+// sampled otherwise), and the L1 bound table. The caller owns the
+// scratch and must defer qs.resetDist() after the returned dist slice is
+// no longer needed.
+func (e *Snapshot) searchProlog(qs *scratch, u uint32, r *rng.Source) (wd *walkDist, dist []int32, l1 *l1Table, exactU bool) {
+	// Local distances around the query, used by the L1 and distance
+	// bounds and by the ball candidate strategies. The ball budget keeps
+	// this BFS local on high-expansion graphs; truncation only weakens
+	// the L1/distance bounds (candidates fall back to L2), never
+	// correctness.
+	dist = qs.distBuf()
+	var truncated bool
+	qs.ball, truncated = e.g.UndirectedBallInto(u, e.p.DMax, e.p.BallBudget, dist, qs.ball[:0])
+	exploredRadius := e.p.DMax
+	if truncated && len(qs.ball) > 0 {
+		// BFS visits vertices in nondecreasing distance order, so the last
+		// ball entry carries the deepest discovered level — which may be
+		// incomplete when the budget cut the search short.
+		exploredRadius = int(dist[qs.ball[len(qs.ball)-1]]) - 1
+	}
+
+	// One batch of RAlpha walks from u serves double duty: Algorithm 2's
+	// α/β table and the u-side distribution of every candidate's
+	// single-pair estimate. In exact-scoring mode the sampled
+	// distribution is replaced by the true sparse one when its support
+	// stays under the cap.
+	wd = &qs.wd
+	if e.p.ExactScoring && e.exactWalkDistInto(wd, qs, u, e.p.ExactSupportCap) {
+		exactU = true
+	} else {
+		e.sampleWalkDistInto(wd, qs, u, e.p.RAlpha, r)
+	}
+	if !e.p.DisableL1 {
+		l1 = e.computeL1From(qs, wd, dist, exploredRadius)
+	}
+	return wd, dist, l1, exactU
+}
+
+// candBound is the tightest upper bound available for candidate v of a
+// query at u: the minimum of the distance, L1 (nil-safe when disabled),
+// and L2 bounds. +Inf when no bound applies.
+func (e *Snapshot) candBound(u, v uint32, dist []int32, l1 *l1Table) float64 {
+	ub := math.Inf(1)
+	if d := dist[v]; d >= 0 {
+		if b := e.DistanceBound(int(d)); b < ub {
+			ub = b
+		}
+		if b := l1.bound(int(d)); b < ub {
+			ub = b
+		}
+	}
+	if !e.p.DisableL2 && e.gamma != nil {
+		if b := e.L2Bound(u, v); b < ub {
+			ub = b
+		}
+	}
+	return ub
+}
+
+// sortBounds orders candidates by descending upper bound, ties by
+// ascending vertex id. This total order is part of the determinism
+// contract: the block scan's pruning decisions depend on it, and the
+// shard merge (shard.go) reconstructs exactly this order from per-shard
+// fragments.
+func sortBounds(bs []boundedCand) {
+	slices.SortFunc(bs, func(a, b boundedCand) int {
+		switch {
+		case a.ub > b.ub:
+			return -1
+		case a.ub < b.ub:
+			return 1
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		}
+		return 0
+	})
+}
+
 // scoreBlockParallel fans one block of candidates out to workers. Each
 // candidate's walks come from its own vertex-seeded stream (candSeed), so
 // which goroutine scores it — and in what order — cannot change its score.
@@ -317,30 +350,31 @@ func (e *Snapshot) scoreCandidate(s *scratch, wd *walkDist, u, v uint32, floor f
 		// Deterministic scoring: propagate the candidate side exactly too
 		// when its support allows it.
 		if e.exactWalkDistInto(&s.wd2, s, v, e.p.ExactSupportCap) {
-			return candScore{score: e.dotSeries(wd, &s.wd2), state: candScored}
+			return candScore{score: e.dotSeries(wd, &s.wd2), state: candScoredNoRough}
 		}
 	}
 	R, Rr := e.p.RScore, e.p.RRough
 	if R > maxTallyCount {
 		s.rng.Seed(e.candSeed(v))
 		if e.p.DisableAdaptive {
-			return candScore{score: e.singlePairOneSided(s, wd, v, R, &s.rng), state: candScored}
+			return candScore{score: e.singlePairOneSided(s, wd, v, R, &s.rng), state: candScoredNoRough}
 		}
 		rough := e.singlePairOneSided(s, wd, v, Rr, &s.rng)
 		if rough < 0.3*floor {
-			return candScore{state: candRoughPruned}
+			return candScore{rough: rough, state: candRoughPruned}
 		}
-		return candScore{score: e.singlePairOneSided(s, wd, v, R, &s.rng), state: candScored}
+		return candScore{score: e.singlePairOneSided(s, wd, v, R, &s.rng), rough: rough, state: candScored}
 	}
 	invR, invRr := 1/float64(R), 1/float64(Rr)
 	if c := e.cache; c != nil {
 		if ent := c.get(v); ent != nil {
-			cs := candScore{cache: cacheHit}
+			cs := candScore{cache: cacheHit, state: candScoredNoRough}
 			if !e.p.DisableAdaptive {
 				// "not small" (paper §7.2): keep the candidate when the
 				// rough estimate reaches 0.3x the pruning floor.
-				rough := e.dotTally(wd, ent.off, ent.verts, ent.rcnt, invRr, int(ent.rsteps))
-				if rough < 0.3*floor {
+				cs.rough = e.dotTally(wd, ent.off, ent.verts, ent.rcnt, invRr, int(ent.rsteps))
+				cs.state = candScored
+				if cs.rough < 0.3*floor {
 					cs.state = candRoughPruned
 					return cs
 				}
@@ -354,11 +388,12 @@ func (e *Snapshot) scoreCandidate(s *scratch, wd *walkDist, u, v uint32, floor f
 		s.rng.Seed(e.candSeed(v))
 		e.simulateCandWalks(s, v, 0, R, R)
 		rsteps := e.buildFullTally(s, v, R, Rr, R)
-		cs := candScore{cache: cacheMiss}
+		cs := candScore{cache: cacheMiss, state: candScoredNoRough}
 		cs.evicted = uint16(min(c.put(newTallyEntry(v, rsteps, s)), maxTallyCount))
 		if !e.p.DisableAdaptive {
-			rough := e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyRcnt, invRr, rsteps)
-			if rough < 0.3*floor {
+			cs.rough = e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyRcnt, invRr, rsteps)
+			cs.state = candScored
+			if cs.rough < 0.3*floor {
 				cs.state = candRoughPruned
 				return cs
 			}
@@ -373,17 +408,17 @@ func (e *Snapshot) scoreCandidate(s *scratch, wd *walkDist, u, v uint32, floor f
 	if e.p.DisableAdaptive {
 		e.simulateCandWalks(s, v, 0, R, R)
 		e.buildFullTally(s, v, R, Rr, R)
-		return candScore{score: e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyCnt, invR, e.p.T), state: candScored}
+		return candScore{score: e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyCnt, invR, e.p.T), state: candScoredNoRough}
 	}
 	e.simulateCandWalks(s, v, 0, Rr, R)
 	rsteps := e.buildRoughTally(s, v, Rr, R)
 	rough := e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyRcnt, invRr, rsteps)
 	if rough < 0.3*floor {
-		return candScore{state: candRoughPruned}
+		return candScore{rough: rough, state: candRoughPruned}
 	}
 	e.simulateCandWalks(s, v, Rr, R, R)
 	e.buildFullTally(s, v, R, Rr, R)
-	return candScore{score: e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyCnt, invR, e.p.T), state: candScored}
+	return candScore{score: e.dotTally(wd, s.tallyOff, s.tallyV, s.tallyCnt, invR, e.p.T), rough: rough, state: candScored}
 }
 
 // collectCandidates enumerates candidate vertices for the query according

@@ -59,3 +59,27 @@ func (g *Graph) InCSR() (start, adj []uint32) { return g.inStart, g.inAdj }
 // OutCSR exposes the out-direction CSR arrays for persistence. The
 // slices alias internal storage and must not be modified.
 func (g *Graph) OutCSR() (start, adj []uint32) { return g.outStart, g.outAdj }
+
+// Fingerprint digests the graph structure (vertex count plus both CSR
+// directions) into 64 bits. The serving tier puts it in shard manifests
+// so a router can verify every shard in a topology holds the identical
+// graph before trusting their fragments. FNV-1a over the raw arrays:
+// O(n+m), computed once per manifest, not on any query path.
+func (g *Graph) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	mix := func(x uint32) {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(x >> s))
+			h *= prime
+		}
+	}
+	mix(uint32(g.n))
+	for _, xs := range [][]uint32{g.inStart, g.inAdj, g.outStart, g.outAdj} {
+		mix(uint32(len(xs)))
+		for _, x := range xs {
+			mix(x)
+		}
+	}
+	return h
+}

@@ -1,0 +1,701 @@
+// Package router implements the scatter-gather tier of the distributed
+// serving topology: it fans each query out to a set of shard servers
+// (internal/server handlers running with -shard i/n), merges the
+// per-shard fragments deterministically, and answers with results — and
+// pruning statistics — byte-identical to a single-node server over the
+// same index.
+//
+//	GET /topk?u=42&k=20[&stats=1]  -> merged via the fragment replay (MergeShardTopK)
+//	POST /topk/batch               -> same contract as the single-node batch endpoint
+//	GET /similar?u=42&theta=0.05   -> merged best-first (fixed floor, plain k-way merge)
+//	GET /statusz                   -> router counters + per-shard hedges/failures/health
+//	GET /healthz, /readyz          -> process up / topology probed and validated
+//
+// Membership is established by Probe: every configured address must
+// answer /readyz and publish a /shardinfo manifest, and the manifests
+// must form one coherent topology (shard.ValidateTopology) — same
+// graph and params fingerprints, same seed and theta, every range
+// present exactly once. Because each server holds the full snapshot
+// (the partition splits scoring work, not data), the router can ask any
+// server for any vertex range: a slow shard is hedged to the next
+// server after HedgeDelay, and a failed request fails over immediately,
+// both through the lo/hi range override on the /shard/* endpoints.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	simrank "repro"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// Config configures a Router. Only Shards is required.
+type Config struct {
+	// Shards lists the shard servers' base URLs (e.g.
+	// "http://127.0.0.1:8081"), one per shard, in any order — the probe
+	// maps addresses to shard indexes from the manifests.
+	Shards []string
+	// HedgeDelay is how long to wait on a shard before sending the same
+	// range request to the next server (0 disables hedging; failed
+	// requests still fail over immediately).
+	HedgeDelay time.Duration
+	// MaxAttempts caps how many servers one range request may try,
+	// counting the first (default 2, capped at len(Shards)).
+	MaxAttempts int
+	// QueryTimeout bounds a whole routed query across all attempts
+	// (0 = no limit beyond the request context).
+	QueryTimeout time.Duration
+	// ProbeTimeout bounds each address during Probe and the live
+	// reachability check in /statusz (default 2s).
+	ProbeTimeout time.Duration
+	// MaxK and MaxBatch mirror the single-node handler's limits
+	// (defaults 1000 and 1024).
+	MaxK     int
+	MaxBatch int
+	// Client is the HTTP client for shard requests (default a fresh
+	// http.Client; per-request contexts carry the deadlines).
+	Client *http.Client
+}
+
+// shardCounters tracks one shard's serving health as seen from the
+// router; /statusz reports them so operators can spot a degraded shard.
+type shardCounters struct {
+	requests    atomic.Int64 // range fetches routed for this shard
+	hedges      atomic.Int64 // extra attempts launched (slow or failed primary)
+	attemptErrs atomic.Int64 // individual attempts that errored
+	failures    atomic.Int64 // fetches that failed after every attempt
+}
+
+// Router is an http.Handler that scatter-gathers queries over a shard
+// topology. It serves 503 not_ready until Probe succeeds.
+type Router struct {
+	cfg    Config
+	client *http.Client
+	mux    *http.ServeMux
+	top    atomic.Pointer[topology]
+
+	queries  atomic.Int64
+	batches  atomic.Int64
+	batchQs  atomic.Int64
+	batchMax atomic.Int64
+	similar  atomic.Int64
+	failures atomic.Int64
+	shards   []shardCounters // indexed by shard id
+}
+
+// topology is the validated view of the shard set, swapped in
+// atomically by Probe.
+type topology struct {
+	manifests []shard.Manifest // sorted by shard index
+	addrs     []string         // addrs[i] natively serves shard i
+	vertices  int
+	theta     float64
+}
+
+// New returns a router for the given shard set. Call Probe before
+// serving queries; until it succeeds every query answers 503 not_ready.
+func New(cfg Config) *Router {
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 1000
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 2
+	}
+	if cfg.MaxAttempts > len(cfg.Shards) {
+		cfg.MaxAttempts = len(cfg.Shards)
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	for i, a := range cfg.Shards {
+		cfg.Shards[i] = strings.TrimRight(a, "/")
+	}
+	rt := &Router{cfg: cfg, client: cfg.Client, shards: make([]shardCounters, len(cfg.Shards))}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", rt.handleTopK)
+	mux.HandleFunc("/topk/batch", rt.handleTopKBatch)
+	mux.HandleFunc("/similar", rt.handleSimilar)
+	mux.HandleFunc("/statusz", rt.handleStatusz)
+	mux.HandleFunc("/healthz", rt.handleHealth)
+	mux.HandleFunc("/readyz", rt.handleReady)
+	rt.mux = mux
+	return rt
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Probe establishes membership: every configured address must answer
+// /readyz and publish a manifest, and the manifests must form one
+// coherent topology. On success the topology is swapped in atomically
+// and the router starts serving queries.
+func (rt *Router) Probe(ctx context.Context) error {
+	if len(rt.cfg.Shards) == 0 {
+		return errors.New("router: no shard addresses configured")
+	}
+	ms := make([]shard.Manifest, len(rt.cfg.Shards))
+	for i, addr := range rt.cfg.Shards {
+		if err := rt.probeOne(ctx, addr, &ms[i]); err != nil {
+			return fmt.Errorf("router: probe %s: %w", addr, err)
+		}
+	}
+	sorted, err := shard.ValidateTopology(ms)
+	if err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	t := &topology{
+		manifests: sorted,
+		addrs:     make([]string, len(sorted)),
+		vertices:  sorted[0].Vertices,
+		theta:     sorted[0].Theta,
+	}
+	for i, m := range ms {
+		t.addrs[m.Shard] = rt.cfg.Shards[i]
+	}
+	rt.top.Store(t)
+	return nil
+}
+
+func (rt *Router) probeOne(ctx context.Context, addr string, m *shard.Manifest) error {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	status, _, err := rt.get(pctx, addr+"/readyz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("readyz: status %d", status)
+	}
+	status, body, err := rt.get(pctx, addr+"/shardinfo")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("shardinfo: status %d", status)
+	}
+	return json.Unmarshal(body, m)
+}
+
+// get issues a GET under ctx and slurps the body.
+func (rt *Router) get(ctx context.Context, url string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+// post issues a POST of a JSON body under ctx and slurps the response.
+func (rt *Router) post(ctx context.Context, url string, payload []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+// upstreamError is a non-200 answer from a shard server, keeping the
+// stable machine-readable code from its JSON error body.
+type upstreamError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *upstreamError) Error() string {
+	return fmt.Sprintf("shard answered %d (%s): %s", e.Status, e.Code, e.Msg)
+}
+
+func asUpstreamError(status int, body []byte) error {
+	var er server.ErrorResponse
+	_ = json.Unmarshal(body, &er)
+	if er.Error == "" {
+		er.Error = strings.TrimSpace(string(body))
+	}
+	return &upstreamError{Status: status, Code: er.Code, Msg: er.Error}
+}
+
+// fetch runs one range request with failover and hedging: attempt a
+// goes to the server (si+a) mod S with an explicit lo/hi override, so a
+// slow or down shard is served by its neighbor from the same snapshot.
+func (rt *Router) fetch(ctx context.Context, t *topology, si int, do func(ctx context.Context, addr string) ([]byte, error)) ([]byte, error) {
+	sc := &rt.shards[si]
+	sc.requests.Add(1)
+	attempts := rt.cfg.MaxAttempts
+	body, hedges, errs, err := hedged(ctx, rt.cfg.HedgeDelay, attempts,
+		func(ctx context.Context, a int) ([]byte, error) {
+			return do(ctx, t.addrs[(si+a)%len(t.addrs)])
+		})
+	sc.hedges.Add(int64(hedges))
+	sc.attemptErrs.Add(int64(errs))
+	if err != nil {
+		sc.failures.Add(1)
+	}
+	return body, err
+}
+
+// fetchTopK fetches shard si's fragment for query u.
+func (rt *Router) fetchTopK(ctx context.Context, t *topology, si, u int) (server.ShardTopKResponse, error) {
+	m := t.manifests[si]
+	body, err := rt.fetch(ctx, t, si, func(ctx context.Context, addr string) ([]byte, error) {
+		status, body, err := rt.get(ctx, fmt.Sprintf("%s/shard/topk?u=%d&lo=%d&hi=%d", addr, u, m.Lo, m.Hi))
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			return nil, asUpstreamError(status, body)
+		}
+		return body, nil
+	})
+	var resp server.ShardTopKResponse
+	if err != nil {
+		return resp, err
+	}
+	return resp, json.Unmarshal(body, &resp)
+}
+
+// queryCtx mirrors the single-node handler: the request context bounded
+// by QueryTimeout.
+func (rt *Router) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if rt.cfg.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), rt.cfg.QueryTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// ready loads the probed topology or answers 503 not_ready.
+func (rt *Router) ready(w http.ResponseWriter) (*topology, bool) {
+	t := rt.top.Load()
+	if t == nil {
+		w.Header().Set("Retry-After", "1")
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeNotReady, "shard topology not probed")
+		return nil, false
+	}
+	return t, true
+}
+
+// writeQueryError maps a routed-query failure onto the same stable
+// error contract the single-node handler uses, plus upstream for shard
+// failures that exhausted every attempt.
+func (rt *Router) writeQueryError(w http.ResponseWriter, err error) {
+	rt.failures.Add(1)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeTimeout, "query timed out")
+	case errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", "1")
+		server.WriteError(w, http.StatusServiceUnavailable, server.CodeCancelled, "query cancelled")
+	default:
+		w.Header().Set("Retry-After", "1")
+		server.WriteError(w, http.StatusBadGateway, server.CodeUpstream, err.Error())
+	}
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
+	t, ok := rt.ready(w)
+	if !ok {
+		return
+	}
+	u, ok := intParam(w, r, "u", -1)
+	if !ok {
+		return
+	}
+	if u < 0 || u >= t.vertices {
+		writeBadRequest(w, fmt.Sprintf("vertex %d out of range [0, %d)", u, t.vertices))
+		return
+	}
+	k, ok := intParam(w, r, "k", 20)
+	if !ok {
+		return
+	}
+	if k <= 0 || k > rt.cfg.MaxK {
+		writeBadRequest(w, fmt.Sprintf("k must be in [1, %d]", rt.cfg.MaxK))
+		return
+	}
+	wantStats := r.URL.Query().Get("stats") == "1"
+	rt.queries.Add(1)
+	ctx, cancel := rt.queryCtx(r)
+	defer cancel()
+	start := time.Now()
+	n := len(t.addrs)
+	frags := make([][]simrank.ShardCand, n)
+	stats := make([]*server.QueryStatsJSON, n)
+	errs := make([]error, n)
+	fanout(n, func(i int) {
+		resp, err := rt.fetchTopK(ctx, t, i, u)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		frags[i] = server.FromWire(resp.Frag)
+		stats[i] = resp.Stats
+	})
+	if err := firstError(errs); err != nil {
+		rt.writeQueryError(w, err)
+		return
+	}
+	res, st := simrank.MergeShardTopK(k, t.theta, frags)
+	resp := server.TopKResponse{Query: u, Results: resultsJSON(res)}
+	if wantStats {
+		resp.Stats = mergedStatsJSON(st, stats)
+	}
+	resp.ElapsedM = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
+	t, ok := rt.ready(w)
+	if !ok {
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		server.WriteError(w, http.StatusMethodNotAllowed, server.CodeBadRequest, "POST required")
+		return
+	}
+	var req server.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeBadRequest(w, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeBadRequest(w, "queries must be non-empty")
+		return
+	}
+	if len(req.Queries) > rt.cfg.MaxBatch {
+		writeBadRequest(w, fmt.Sprintf("batch size %d exceeds limit %d", len(req.Queries), rt.cfg.MaxBatch))
+		return
+	}
+	if req.K == 0 {
+		req.K = 20
+	}
+	if req.K < 0 || req.K > rt.cfg.MaxK {
+		writeBadRequest(w, fmt.Sprintf("k must be in [1, %d]", rt.cfg.MaxK))
+		return
+	}
+	for _, u := range req.Queries {
+		if u < 0 || u >= t.vertices {
+			writeBadRequest(w, fmt.Sprintf("vertex %d out of range [0, %d)", u, t.vertices))
+			return
+		}
+	}
+	rt.batches.Add(1)
+	rt.batchQs.Add(int64(len(req.Queries)))
+	for cur := rt.batchMax.Load(); int64(len(req.Queries)) > cur; cur = rt.batchMax.Load() {
+		if rt.batchMax.CompareAndSwap(cur, int64(len(req.Queries))) {
+			break
+		}
+	}
+	ctx, cancel := rt.queryCtx(r)
+	defer cancel()
+	start := time.Now()
+	n := len(t.addrs)
+	perShard := make([]server.ShardBatchResponse, n)
+	errs := make([]error, n)
+	fanout(n, func(i int) {
+		m := t.manifests[i]
+		payload, err := json.Marshal(server.ShardBatchRequest{Queries: req.Queries, Lo: &m.Lo, Hi: &m.Hi})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		body, err := rt.fetch(ctx, t, i, func(ctx context.Context, addr string) ([]byte, error) {
+			status, body, err := rt.post(ctx, addr+"/shard/topk/batch", payload)
+			if err != nil {
+				return nil, err
+			}
+			if status != http.StatusOK {
+				return nil, asUpstreamError(status, body)
+			}
+			return body, nil
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		errs[i] = json.Unmarshal(body, &perShard[i])
+	})
+	if err := firstError(errs); err != nil {
+		rt.writeQueryError(w, err)
+		return
+	}
+	for i := range perShard {
+		if len(perShard[i].Results) != len(req.Queries) {
+			rt.writeQueryError(w, fmt.Errorf("shard %d answered %d fragments for %d queries",
+				i, len(perShard[i].Results), len(req.Queries)))
+			return
+		}
+	}
+	resp := server.BatchResponse{K: req.K, Results: make([]server.TopKResponse, len(req.Queries))}
+	for q := range req.Queries {
+		frags := make([][]simrank.ShardCand, n)
+		stats := make([]*server.QueryStatsJSON, n)
+		for i := range perShard {
+			frags[i] = server.FromWire(perShard[i].Results[q].Frag)
+			stats[i] = perShard[i].Results[q].Stats
+		}
+		res, st := simrank.MergeShardTopK(req.K, t.theta, frags)
+		resp.Results[q] = server.TopKResponse{Query: req.Queries[q], Results: resultsJSON(res)}
+		if req.Stats {
+			resp.Results[q].Stats = mergedStatsJSON(st, stats)
+		}
+	}
+	resp.ElapsedM = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	t, ok := rt.ready(w)
+	if !ok {
+		return
+	}
+	u, ok := intParam(w, r, "u", -1)
+	if !ok {
+		return
+	}
+	if u < 0 || u >= t.vertices {
+		writeBadRequest(w, fmt.Sprintf("vertex %d out of range [0, %d)", u, t.vertices))
+		return
+	}
+	theta := 0.01
+	if s := r.URL.Query().Get("theta"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 || f > 1 {
+			writeBadRequest(w, "theta must be a float in (0, 1]")
+			return
+		}
+		theta = f
+	}
+	rt.similar.Add(1)
+	ctx, cancel := rt.queryCtx(r)
+	defer cancel()
+	start := time.Now()
+	n := len(t.addrs)
+	frags := make([][]shard.Ranked, n)
+	errs := make([]error, n)
+	fanout(n, func(i int) {
+		m := t.manifests[i]
+		body, err := rt.fetch(ctx, t, i, func(ctx context.Context, addr string) ([]byte, error) {
+			status, body, err := rt.get(ctx, fmt.Sprintf("%s/shard/similar?u=%d&theta=%s&lo=%d&hi=%d",
+				addr, u, strconv.FormatFloat(theta, 'g', -1, 64), m.Lo, m.Hi))
+			if err != nil {
+				return nil, err
+			}
+			if status != http.StatusOK {
+				return nil, asUpstreamError(status, body)
+			}
+			return body, nil
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		var resp server.TopKResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			errs[i] = err
+			return
+		}
+		for _, res := range resp.Results {
+			frags[i] = append(frags[i], shard.Ranked{Node: res.Node, Score: res.Score})
+		}
+	})
+	if err := firstError(errs); err != nil {
+		rt.writeQueryError(w, err)
+		return
+	}
+	merged := shard.MergeTopK(0, frags)
+	out := make([]server.ResultJSON, len(merged))
+	for i, m := range merged {
+		out[i] = server.ResultJSON{Node: m.Node, Score: m.Score}
+	}
+	writeJSON(w, http.StatusOK, server.TopKResponse{
+		Query:    u,
+		Results:  out,
+		ElapsedM: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// ShardStatus is one shard's health as seen from the router.
+type ShardStatus struct {
+	Shard         int    `json:"shard"`
+	Addr          string `json:"addr"`
+	RequestsTotal int64  `json:"requests_total"`
+	// HedgesFired counts extra attempts launched for this shard's
+	// ranges — nonzero means the primary was slow or down.
+	HedgesFired      int64 `json:"hedges_fired"`
+	AttemptErrsTotal int64 `json:"attempt_errors_total"`
+	FailuresTotal    int64 `json:"failures_total"`
+	Reachable        bool  `json:"reachable"`
+	// Status is the shard server's own /statusz (counters + cache),
+	// absent when the server was unreachable just now.
+	Status *server.StatuszResponse `json:"status,omitempty"`
+}
+
+// RouterStatusz is the payload of the router's /statusz.
+type RouterStatusz struct {
+	Ready             bool          `json:"ready"`
+	NumShards         int           `json:"num_shards"`
+	QueriesTotal      int64         `json:"queries_total"`
+	BatchesTotal      int64         `json:"batches_total"`
+	BatchQueriesTotal int64         `json:"batch_queries_total"`
+	BatchSizeMax      int64         `json:"batch_size_max"`
+	SimilarTotal      int64         `json:"similar_total"`
+	FailuresTotal     int64         `json:"failures_total"`
+	Shards            []ShardStatus `json:"shards"`
+}
+
+// handleStatusz reports the router's own counters plus a live view of
+// every shard: per-shard hedges/failures since start and a reachability
+// probe (each shard's /statusz fetched under ProbeTimeout) — the place
+// degradation shows up when a shard is slow or down.
+func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	resp := RouterStatusz{
+		NumShards:         len(rt.cfg.Shards),
+		QueriesTotal:      rt.queries.Load(),
+		BatchesTotal:      rt.batches.Load(),
+		BatchQueriesTotal: rt.batchQs.Load(),
+		BatchSizeMax:      rt.batchMax.Load(),
+		SimilarTotal:      rt.similar.Load(),
+		FailuresTotal:     rt.failures.Load(),
+	}
+	t := rt.top.Load()
+	if t != nil {
+		resp.Ready = true
+		resp.Shards = make([]ShardStatus, len(t.addrs))
+		fanout(len(t.addrs), func(i int) {
+			sc := &rt.shards[i]
+			ss := ShardStatus{
+				Shard:            i,
+				Addr:             t.addrs[i],
+				RequestsTotal:    sc.requests.Load(),
+				HedgesFired:      sc.hedges.Load(),
+				AttemptErrsTotal: sc.attemptErrs.Load(),
+				FailuresTotal:    sc.failures.Load(),
+			}
+			pctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
+			defer cancel()
+			status, body, err := rt.get(pctx, t.addrs[i]+"/statusz")
+			if err == nil && status == http.StatusOK {
+				var st server.StatuszResponse
+				if json.Unmarshal(body, &st) == nil {
+					ss.Reachable = true
+					ss.Status = &st
+				}
+			}
+			resp.Shards[i] = ss
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	if _, ok := rt.ready(w); !ok {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// mergedStatsJSON combines the replayed scan counters (byte-identical
+// to single-node) with the per-shard cache counters summed (cache state
+// is topology-dependent: each shard has its own tally cache).
+func mergedStatsJSON(st simrank.QueryStats, perShard []*server.QueryStatsJSON) *server.QueryStatsJSON {
+	out := &server.QueryStatsJSON{
+		Candidates:    st.Candidates,
+		PrunedByBound: st.PrunedByBound,
+		PrunedByRough: st.PrunedByRough,
+		Refined:       st.Refined,
+	}
+	for _, s := range perShard {
+		if s == nil {
+			continue
+		}
+		out.CacheHits += s.CacheHits
+		out.CacheMisses += s.CacheMisses
+		out.CacheEvictions += s.CacheEvictions
+	}
+	return out
+}
+
+func resultsJSON(res []simrank.Result) []server.ResultJSON {
+	out := make([]server.ResultJSON, len(res))
+	for i, r := range res {
+		out[i] = server.ResultJSON{Node: r.Node, Score: r.Score}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(payload)
+}
+
+func writeBadRequest(w http.ResponseWriter, msg string) {
+	server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, msg)
+}
+
+// intParam parses an integer query parameter; def < 0 means required.
+func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		if def >= 0 {
+			return def, true
+		}
+		writeBadRequest(w, fmt.Sprintf("missing required parameter %q", name))
+		return 0, false
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		writeBadRequest(w, fmt.Sprintf("parameter %q must be an integer", name))
+		return 0, false
+	}
+	return v, true
+}

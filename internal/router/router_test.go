@@ -1,0 +1,373 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	simrank "repro"
+	"repro/internal/server"
+)
+
+// buildIndex builds the shared test index once per process; every
+// topology in this file serves shards of the same snapshot, which is
+// what the byte-identity tests are about.
+func buildIndex(tb testing.TB) *simrank.Index {
+	tb.Helper()
+	g := simrank.GenerateCollaborationGraph(60, 4, 0.8, 7)
+	return simrank.BuildIndex(g, simrank.DefaultOptions())
+}
+
+// loopback starts shards real HTTP servers (httptest loopback) over one
+// index and a probed router in front of them. wrap, when non-nil, can
+// interpose per-shard middleware (slow shard, down shard).
+func loopback(tb testing.TB, idx *simrank.Index, shards int, cfg Config, wrap func(i int, h http.Handler) http.Handler) (*Router, []*httptest.Server) {
+	tb.Helper()
+	servers := make([]*httptest.Server, shards)
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		var h http.Handler = server.NewShard(idx, i, shards)
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		servers[i] = httptest.NewServer(h)
+		addrs[i] = servers[i].URL
+		tb.Cleanup(servers[i].Close)
+	}
+	cfg.Shards = addrs
+	rt := New(cfg)
+	if err := rt.Probe(context.Background()); err != nil {
+		tb.Fatalf("probe: %v", err)
+	}
+	return rt, servers
+}
+
+func routerGet(tb testing.TB, h http.Handler, path string) (*httptest.ResponseRecorder, []byte) {
+	tb.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec, rec.Body.Bytes()
+}
+
+func routerPost(tb testing.TB, h http.Handler, path, body string) (*httptest.ResponseRecorder, []byte) {
+	tb.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+// sameResults asserts exact equality — values and ordering — of two
+// result lists. JSON round-trips float64 exactly, so equality here is
+// byte-identity of the scores.
+func sameResults(tb testing.TB, label string, got, want []server.ResultJSON) {
+	tb.Helper()
+	if len(got) != len(want) {
+		tb.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			tb.Fatalf("%s: result %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func sameScanStats(tb testing.TB, label string, got, want *server.QueryStatsJSON) {
+	tb.Helper()
+	if got == nil || want == nil {
+		tb.Fatalf("%s: missing stats (got %v, want %v)", label, got, want)
+	}
+	if got.Candidates != want.Candidates || got.PrunedByBound != want.PrunedByBound ||
+		got.PrunedByRough != want.PrunedByRough || got.Refined != want.Refined {
+		tb.Fatalf("%s: scan stats %+v, want %+v", label, *got, *want)
+	}
+}
+
+// TestRouterTopKMatchesSingleNode is the e2e golden test: a 3-shard
+// loopback topology must answer /topk byte-identically (results,
+// ordering, and scan statistics) to a stand-alone server on the same
+// snapshot.
+func TestRouterTopKMatchesSingleNode(t *testing.T) {
+	idx := buildIndex(t)
+	rt, _ := loopback(t, idx, 3, Config{}, nil)
+	single := server.New(idx)
+	for _, u := range []int{0, 7, 42, 59, 150} {
+		for _, k := range []int{1, 5, 100} {
+			path := fmt.Sprintf("/topk?u=%d&k=%d&stats=1", u, k)
+			rec, body := routerGet(t, rt, path)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s: status %d: %s", path, rec.Code, body)
+			}
+			var got server.TopKResponse
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			_, sbody := routerGet(t, single, path)
+			var want server.TopKResponse
+			if err := json.Unmarshal(sbody, &want); err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("u=%d k=%d", u, k)
+			sameResults(t, label, got.Results, want.Results)
+			sameScanStats(t, label, got.Stats, want.Stats)
+		}
+	}
+}
+
+func TestRouterBatchMatchesSingleNode(t *testing.T) {
+	idx := buildIndex(t)
+	rt, _ := loopback(t, idx, 3, Config{}, nil)
+	single := server.New(idx)
+	body := `{"queries":[0,7,42,59],"k":5,"stats":true}`
+	rec, rbody := routerPost(t, rt, "/topk/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rbody)
+	}
+	var got server.BatchResponse
+	if err := json.Unmarshal(rbody, &got); err != nil {
+		t.Fatal(err)
+	}
+	_, sbody := routerPost(t, single, "/topk/batch", body)
+	var want server.BatchResponse
+	if err := json.Unmarshal(sbody, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%d batch results, want %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		label := fmt.Sprintf("batch query %d", got.Results[i].Query)
+		sameResults(t, label, got.Results[i].Results, want.Results[i].Results)
+		sameScanStats(t, label, got.Results[i].Stats, want.Results[i].Stats)
+	}
+}
+
+func TestRouterSimilarMatchesSingleNode(t *testing.T) {
+	idx := buildIndex(t)
+	rt, _ := loopback(t, idx, 3, Config{}, nil)
+	single := server.New(idx)
+	for _, u := range []int{0, 42} {
+		path := fmt.Sprintf("/similar?u=%d&theta=0.02", u)
+		rec, body := routerGet(t, rt, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, rec.Code, body)
+		}
+		var got, want server.TopKResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		_, sbody := routerGet(t, single, path)
+		if err := json.Unmarshal(sbody, &want); err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("u=%d", u), got.Results, want.Results)
+	}
+}
+
+// TestRouterDownShardFailover kills one shard server outright: the
+// router must fail over its range to the next server (every server
+// holds the full snapshot) and still answer byte-identically, and
+// /statusz must report the degradation.
+func TestRouterDownShardFailover(t *testing.T) {
+	idx := buildIndex(t)
+	rt, servers := loopback(t, idx, 3, Config{QueryTimeout: 10 * time.Second}, nil)
+	single := server.New(idx)
+	servers[1].Close()
+
+	path := "/topk?u=42&k=5&stats=1"
+	rec, body := routerGet(t, rt, path)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d with shard 1 down: %s", rec.Code, body)
+	}
+	var got, want server.TopKResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	_, sbody := routerGet(t, single, path)
+	if err := json.Unmarshal(sbody, &want); err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "failover", got.Results, want.Results)
+	sameScanStats(t, "failover", got.Stats, want.Stats)
+
+	rec, body = routerGet(t, rt, "/statusz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("statusz status %d", rec.Code)
+	}
+	var st RouterStatusz
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready || len(st.Shards) != 3 {
+		t.Fatalf("statusz = %+v", st)
+	}
+	s1 := st.Shards[1]
+	if s1.HedgesFired == 0 || s1.AttemptErrsTotal == 0 {
+		t.Fatalf("down shard not visible in statusz: %+v", s1)
+	}
+	if s1.Reachable {
+		t.Fatalf("closed shard reported reachable: %+v", s1)
+	}
+	if !st.Shards[0].Reachable || !st.Shards[2].Reachable {
+		t.Fatalf("live shards reported unreachable: %+v", st.Shards)
+	}
+}
+
+// TestRouterSlowShardHedges makes one shard artificially slow: the
+// hedge to the next server must win within the query timeout and the
+// answer must still be byte-identical.
+func TestRouterSlowShardHedges(t *testing.T) {
+	idx := buildIndex(t)
+	slow := func(i int, h http.Handler) http.Handler {
+		if i != 2 {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/shard/") {
+				time.Sleep(300 * time.Millisecond)
+			}
+			h.ServeHTTP(w, r)
+		})
+	}
+	rt, _ := loopback(t, idx, 3, Config{
+		HedgeDelay:   5 * time.Millisecond,
+		QueryTimeout: 5 * time.Second,
+	}, slow)
+	single := server.New(idx)
+
+	path := "/topk?u=7&k=5&stats=1"
+	start := time.Now()
+	rec, body := routerGet(t, rt, path)
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var got, want server.TopKResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	_, sbody := routerGet(t, single, path)
+	if err := json.Unmarshal(sbody, &want); err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "hedged", got.Results, want.Results)
+	sameScanStats(t, "hedged", got.Stats, want.Stats)
+	if elapsed >= 300*time.Millisecond {
+		t.Fatalf("hedge did not win: query took %v (slow shard sleeps 300ms)", elapsed)
+	}
+
+	_, body = routerGet(t, rt, "/statusz")
+	var st RouterStatusz
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards[2].HedgesFired == 0 {
+		t.Fatalf("no hedge recorded for the slow shard: %+v", st.Shards[2])
+	}
+}
+
+func TestRouterNotReady(t *testing.T) {
+	rt := New(Config{Shards: []string{"http://127.0.0.1:1"}})
+	for _, path := range []string{"/topk?u=0", "/similar?u=0", "/readyz"} {
+		rec, body := routerGet(t, rt, path)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d before probe", path, rec.Code)
+		}
+		if path == "/readyz" {
+			continue
+		}
+		var er server.ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if er.Code != server.CodeNotReady {
+			t.Fatalf("%s: code %q", path, er.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("%s: no Retry-After", path)
+		}
+	}
+	// /statusz answers even before probe, reporting not ready.
+	rec, body := routerGet(t, rt, "/statusz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("statusz status %d", rec.Code)
+	}
+	var st RouterStatusz
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready {
+		t.Fatal("unprobed router claims ready")
+	}
+}
+
+// TestRouterProbeRejectsMismatch: servers built from different seeds
+// must not form a topology — the params fingerprint differs.
+func TestRouterProbeRejectsMismatch(t *testing.T) {
+	g := simrank.GenerateCollaborationGraph(60, 4, 0.8, 7)
+	opts := simrank.DefaultOptions()
+	idxA := simrank.BuildIndex(g, opts)
+	opts.Seed = 2
+	idxB := simrank.BuildIndex(g, opts)
+
+	sa := httptest.NewServer(server.NewShard(idxA, 0, 2))
+	sb := httptest.NewServer(server.NewShard(idxB, 1, 2))
+	defer sa.Close()
+	defer sb.Close()
+	rt := New(Config{Shards: []string{sa.URL, sb.URL}})
+	if err := rt.Probe(context.Background()); err == nil {
+		t.Fatal("probe accepted mismatched seeds")
+	} else if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("unexpected probe error: %v", err)
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	idx := buildIndex(t)
+	rt, _ := loopback(t, idx, 2, Config{}, nil)
+	for _, path := range []string{
+		"/topk?u=notanint",
+		"/topk?u=99999", // out of range, rejected locally
+		"/topk?u=0&k=0", // k out of range
+		"/similar?u=0&theta=7",
+	} {
+		rec, body := routerGet(t, rt, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d: %s", path, rec.Code, body)
+		}
+		var er server.ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("%s: error body not JSON: %s", path, body)
+		}
+		if er.Code != server.CodeBadRequest {
+			t.Fatalf("%s: code %q", path, er.Code)
+		}
+	}
+	rec, _ := routerPost(t, rt, "/topk/batch", `{"queries":[]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", rec.Code)
+	}
+}
+
+// BenchmarkRouterTopK measures a routed /topk over a real 3-shard HTTP
+// loopback topology — scatter, shard-side scoring, gather, merge replay.
+func BenchmarkRouterTopK(b *testing.B) {
+	idx := buildIndex(b)
+	rt, _ := loopback(b, idx, 3, Config{}, nil)
+	req := httptest.NewRequest(http.MethodGet, "/topk?u=42&k=20", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

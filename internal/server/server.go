@@ -9,8 +9,23 @@
 //	GET /pair?u=42&v=99          -> {"u":42,"v":99,"score":0.018}
 //	GET /similar?u=42&theta=0.05 -> same shape as /topk
 //	GET /stats                   -> graph and index statistics
+//	GET /statusz                 -> serving counters (queries, batches, cache, timeouts)
 //	GET /healthz                 -> 200 ok (process is up)
 //	GET /readyz                  -> 200 ok (index built, queries served)
+//
+// A handler can also serve as one shard of a topology (NewShard): the
+// shard-serving endpoints restrict candidate scoring to the owned vertex
+// range and are consumed by the router tier (internal/router), which
+// merges per-shard fragments back into byte-identical single-node
+// answers:
+//
+//	GET /shardinfo               -> shard manifest (range, graph/params fingerprints)
+//	GET /shard/topk?u=42         -> scored candidate fragment for the owned range
+//	POST /shard/topk/batch       -> {"queries":[...]} fragments for many queries
+//	GET /shard/similar?u=42&theta=0.05 -> owned-range threshold results
+//
+// Errors carry a JSON body {"error": msg, "code": stable_code}; retryable
+// 503s (timeout, cancellation, not-ready) also set Retry-After.
 //
 // The handler is safe for concurrent requests; the underlying index is an
 // immutable snapshot. Every query runs under the request context (plus
@@ -28,12 +43,21 @@ import (
 	"time"
 
 	simrank "repro"
+	"repro/internal/shard"
 )
 
-// Handler serves the JSON API for one index.
+// Handler serves the JSON API for one index — either a stand-alone
+// server (shard 0 of 1, the default) or one shard of a topology, in
+// which case the /shard/* endpoints restrict candidate scoring to the
+// owned vertex range and /shardinfo publishes the manifest a router
+// validates before merging fragments. The full single-node endpoints
+// stay available in either role (a shard holds the whole snapshot; the
+// partition splits scoring work, not data).
 type Handler struct {
-	idx *simrank.Index
-	mux *http.ServeMux
+	idx      *simrank.Index
+	mux      *http.ServeMux
+	manifest shard.Manifest
+	counters counters
 	// MaxK caps the k parameter to keep responses bounded (default 1000).
 	MaxK int
 	// MaxBatch caps the number of queries one /topk/batch request may
@@ -44,9 +68,19 @@ type Handler struct {
 	QueryTimeout time.Duration
 }
 
-// New returns a ready-to-mount handler.
+// New returns a ready-to-mount stand-alone handler (shard 0 of 1).
 func New(idx *simrank.Index) *Handler {
+	return NewShard(idx, 0, 1)
+}
+
+// NewShard returns a handler serving shard shardIdx of numShards. The
+// owned vertex range is the canonical partition shard.Range(shardIdx,
+// numShards, n); /shard/* queries score only that range.
+func NewShard(idx *simrank.Index, shardIdx, numShards int) *Handler {
 	h := &Handler{idx: idx, MaxK: 1000, MaxBatch: 1024}
+	gfp, pfp := idx.ServingFingerprint()
+	h.manifest = shard.Build(shardIdx, numShards, idx.Graph().NumVertices(),
+		gfp, pfp, idx.Seed(), idx.Threshold())
 	mux := http.NewServeMux()
 	mux.HandleFunc("/topk", h.handleTopK)
 	mux.HandleFunc("/topk/batch", h.handleTopKBatch)
@@ -54,11 +88,19 @@ func New(idx *simrank.Index) *Handler {
 	mux.HandleFunc("/similar", h.handleSimilar)
 	mux.HandleFunc("/join", h.handleJoin)
 	mux.HandleFunc("/stats", h.handleStats)
+	mux.HandleFunc("/statusz", h.handleStatusz)
+	mux.HandleFunc("/shardinfo", h.handleShardInfo)
+	mux.HandleFunc("/shard/topk", h.handleShardTopK)
+	mux.HandleFunc("/shard/topk/batch", h.handleShardTopKBatch)
+	mux.HandleFunc("/shard/similar", h.handleShardSimilar)
 	mux.HandleFunc("/healthz", h.handleHealth)
 	mux.HandleFunc("/readyz", h.handleHealth)
 	h.mux = mux
 	return h
 }
+
+// Manifest returns the shard manifest this handler serves under.
+func (h *Handler) Manifest() shard.Manifest { return h.manifest }
 
 // queryCtx derives the context queries run under: the request context
 // (cancelled when the client disconnects) bounded by QueryTimeout.
@@ -69,17 +111,34 @@ func (h *Handler) queryCtx(r *http.Request) (context.Context, context.CancelFunc
 	return r.Context(), func() {}
 }
 
+// Stable machine-readable error codes (ErrorResponse.Code). The router
+// keys retry/hedge decisions off these, never off message text.
+const (
+	CodeBadRequest = "bad_request"
+	CodeTimeout    = "timeout"
+	CodeCancelled  = "cancelled"
+	CodeNotReady   = "not_ready"
+	CodeInternal   = "internal"
+	// CodeUpstream is used by the router tier when a shard request
+	// exhausted every attempt; the single-node handler never emits it.
+	CodeUpstream = "upstream"
+)
+
 // writeQueryError maps a query error to an HTTP status: context errors
-// become 503 (the query was cut short, not malformed), everything else is
-// a client error.
-func writeQueryError(w http.ResponseWriter, err error) {
+// become 503 with Retry-After (the query was cut short by load or
+// disconnect, not malformed — a client may retry), everything else is a
+// client error.
+func (h *Handler) writeQueryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, "query timed out")
+		h.counters.timeouts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		WriteError(w, http.StatusServiceUnavailable, CodeTimeout, "query timed out")
 	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "query cancelled")
+		w.Header().Set("Retry-After", "1")
+		WriteError(w, http.StatusServiceUnavailable, CodeCancelled, "query cancelled")
 	default:
-		writeError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 	}
 }
 
@@ -165,9 +224,12 @@ type StatsResponse struct {
 	PreprocessSecs float64 `json:"preprocess_seconds"`
 }
 
-// ErrorResponse is returned with non-2xx statuses.
+// ErrorResponse is returned with non-2xx statuses. Code is a stable
+// machine-readable discriminator (see the Code* constants); Error is a
+// human-readable message that may change between versions.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -184,6 +246,7 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wantStats := r.URL.Query().Get("stats") == "1"
+	h.counters.queries.Add(1)
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
 	start := time.Now()
@@ -191,7 +254,7 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if wantStats {
 		res, st, err := h.idx.TopKWithStatsCtx(ctx, u, k)
 		if err != nil {
-			writeQueryError(w, err)
+			h.writeQueryError(w, err)
 			return
 		}
 		resp.Results = toJSON(res)
@@ -200,7 +263,7 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 	} else {
 		res, err := h.idx.TopKCtx(ctx, u, k)
 		if err != nil {
-			writeQueryError(w, err)
+			h.writeQueryError(w, err)
 			return
 		}
 		resp.Results = toJSON(res)
@@ -257,12 +320,13 @@ func (h *Handler) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1, %d]", h.MaxK))
 		return
 	}
+	h.counters.noteBatch(len(req.Queries))
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
 	start := time.Now()
 	res, sts, err := h.idx.TopKBatchWithStatsCtx(ctx, req.Queries, req.K)
 	if err != nil {
-		writeQueryError(w, err)
+		h.writeQueryError(w, err)
 		return
 	}
 	resp := BatchResponse{
@@ -291,11 +355,12 @@ func (h *Handler) handlePair(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	h.counters.pairs.Add(1)
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
 	score, err := h.idx.SinglePairCtx(ctx, u, v)
 	if err != nil {
-		writeQueryError(w, err)
+		h.writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PairResponse{U: u, V: v, Score: score})
@@ -308,19 +373,20 @@ func (h *Handler) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	}
 	theta := 0.01
 	if s := r.URL.Query().Get("theta"); s != "" {
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil || f <= 0 || f > 1 {
-			writeError(w, http.StatusBadRequest, "theta must be a float in (0, 1]")
+		f, err := parseTheta(s)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		theta = f
 	}
+	h.counters.similar.Add(1)
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
 	start := time.Now()
 	res, err := h.idx.SimilarCtx(ctx, u, theta)
 	if err != nil {
-		writeQueryError(w, err)
+		h.writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, TopKResponse{
@@ -349,9 +415,9 @@ type JoinResponse struct {
 func (h *Handler) handleJoin(w http.ResponseWriter, r *http.Request) {
 	theta := 0.1
 	if s := r.URL.Query().Get("theta"); s != "" {
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil || f <= 0 || f > 1 {
-			writeError(w, http.StatusBadRequest, "theta must be a float in (0, 1]")
+		f, err := parseTheta(s)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		theta = f
@@ -369,7 +435,7 @@ func (h *Handler) handleJoin(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	pairs, err := h.idx.SimilarityJoinCtx(ctx, theta, max)
 	if err != nil {
-		writeQueryError(w, err)
+		h.writeQueryError(w, err)
 		return
 	}
 	out := make([]JoinPairJSON, len(pairs))
@@ -397,6 +463,15 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// parseTheta validates a theta query parameter.
+func parseTheta(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f <= 0 || f > 1 {
+		return 0, errors.New("theta must be a float in (0, 1]")
+	}
+	return f, nil
 }
 
 // intParam parses an integer query parameter; def < 0 means required.
@@ -431,6 +506,19 @@ func writeJSON(w http.ResponseWriter, status int, payload any) {
 	json.NewEncoder(w).Encode(payload)
 }
 
+// WriteError writes a JSON error body with a stable code. Exported so
+// the bootstrap not-ready handler (cmd/simserver) and the router speak
+// the same error shape as the query handlers.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+// writeError is the bare-message form used for request validation
+// failures; the code is always bad_request.
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg})
+	code := CodeBadRequest
+	if status >= 500 {
+		code = CodeInternal
+	}
+	WriteError(w, status, code, msg)
 }

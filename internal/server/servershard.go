@@ -1,0 +1,290 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	simrank "repro"
+	"repro/internal/shard"
+)
+
+// counters are the serving counters behind /statusz. They count
+// accepted queries (validation passed), so a load balancer's view of
+// "work done" excludes malformed requests; query timeouts are counted
+// separately.
+type counters struct {
+	queries      atomic.Int64 // single /topk queries
+	batches      atomic.Int64 // /topk/batch requests
+	batchQueries atomic.Int64 // queries carried by those batches
+	batchMax     atomic.Int64 // largest accepted batch
+	similar      atomic.Int64 // /similar queries
+	pairs        atomic.Int64 // /pair queries
+	shardQueries atomic.Int64 // /shard/topk + /shard/similar queries
+	shardBatches atomic.Int64 // /shard/topk/batch requests
+	timeouts     atomic.Int64 // queries cut off by QueryTimeout
+}
+
+func (c *counters) noteBatch(size int) {
+	c.batches.Add(1)
+	c.batchQueries.Add(int64(size))
+	storeMax(&c.batchMax, int64(size))
+}
+
+// storeMax lifts v into the atomic max register.
+func storeMax(a *atomic.Int64, v int64) {
+	for cur := a.Load(); v > cur; cur = a.Load() {
+		if a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// StatuszResponse is the payload of /statusz: serving counters sourced
+// from the per-query QueryStats plus the index-wide cache state and
+// this server's shard manifest.
+type StatuszResponse struct {
+	QueriesTotal      int64 `json:"queries_total"`
+	BatchesTotal      int64 `json:"batches_total"`
+	BatchQueriesTotal int64 `json:"batch_queries_total"`
+	BatchSizeMax      int64 `json:"batch_size_max"`
+	SimilarTotal      int64 `json:"similar_total"`
+	PairsTotal        int64 `json:"pairs_total"`
+	ShardQueriesTotal int64 `json:"shard_queries_total"`
+	ShardBatchesTotal int64 `json:"shard_batches_total"`
+	TimeoutsTotal     int64 `json:"timeouts_total"`
+	// Cache is the index-wide tally-cache lifetime state (hits, misses,
+	// evictions, footprint) — the aggregate of every query's cache
+	// counters since the snapshot was built.
+	Cache *CacheStatsJSON `json:"cache"`
+	Shard shard.Manifest  `json:"shard"`
+}
+
+func (h *Handler) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatuszResponse{
+		QueriesTotal:      h.counters.queries.Load(),
+		BatchesTotal:      h.counters.batches.Load(),
+		BatchQueriesTotal: h.counters.batchQueries.Load(),
+		BatchSizeMax:      h.counters.batchMax.Load(),
+		SimilarTotal:      h.counters.similar.Load(),
+		PairsTotal:        h.counters.pairs.Load(),
+		ShardQueriesTotal: h.counters.shardQueries.Load(),
+		ShardBatchesTotal: h.counters.shardBatches.Load(),
+		TimeoutsTotal:     h.counters.timeouts.Load(),
+		Cache:             toCacheJSON(h.idx.CacheStats()),
+		Shard:             h.manifest,
+	})
+}
+
+// handleShardInfo publishes the manifest: GET /shardinfo.
+func (h *Handler) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.manifest)
+}
+
+// ShardCandJSON is one fragment entry on the wire. Keys are short —
+// fragments carry every candidate of a query, typically thousands of
+// entries. Rough and Score are omitted when zero; the state field says
+// which of them are meaningful, and a true zero round-trips as zero.
+type ShardCandJSON struct {
+	V     uint32  `json:"v"`
+	UB    float64 `json:"ub"`
+	State uint8   `json:"st"`
+	Rough float64 `json:"r,omitempty"`
+	Score float64 `json:"sc,omitempty"`
+}
+
+// ToWire converts a fragment for transport. Exported (with FromWire)
+// so the router and the shard serialize identically.
+func ToWire(frag []simrank.ShardCand) []ShardCandJSON {
+	out := make([]ShardCandJSON, len(frag))
+	for i, c := range frag {
+		out[i] = ShardCandJSON{V: c.V, UB: c.UB, State: c.State, Rough: c.Rough, Score: c.Score}
+	}
+	return out
+}
+
+// FromWire is the inverse of ToWire. Go's float64 JSON round-trip is
+// exact (shortest-representation encoding), so a decoded fragment is
+// bit-identical to the shard's — which the byte-identity guarantee of
+// the merge replay rests on.
+func FromWire(frag []ShardCandJSON) []simrank.ShardCand {
+	out := make([]simrank.ShardCand, len(frag))
+	for i, c := range frag {
+		out[i] = simrank.ShardCand{V: c.V, UB: c.UB, State: c.State, Rough: c.Rough, Score: c.Score}
+	}
+	return out
+}
+
+// ShardTopKResponse is the payload of /shard/topk: the scored fragment
+// for the owned vertex range, plus this shard's stats (cache counters
+// matter to the router; scan counters are recomputed by the merge).
+type ShardTopKResponse struct {
+	Query    int             `json:"query"`
+	Shard    int             `json:"shard"`
+	Frag     []ShardCandJSON `json:"frag"`
+	Stats    *QueryStatsJSON `json:"stats,omitempty"`
+	ElapsedM float64         `json:"elapsed_ms"`
+}
+
+// rangeParams reads the optional lo/hi range override. Every server
+// holds the full snapshot, so it can score any vertex range on request —
+// the router uses this to hedge a slow shard or fail over a down one to
+// a different server. Defaults to the owned manifest range.
+func (h *Handler) rangeParams(w http.ResponseWriter, r *http.Request) (lo, hi int, ok bool) {
+	lo, ok = h.intParam(w, r, "lo", h.manifest.Lo)
+	if !ok {
+		return 0, 0, false
+	}
+	hi, ok = h.intParam(w, r, "hi", h.manifest.Hi)
+	if !ok {
+		return 0, 0, false
+	}
+	if lo < 0 || hi < lo || hi > h.manifest.Vertices {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("range [%d, %d) invalid for %d vertices", lo, hi, h.manifest.Vertices))
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// handleShardTopK answers GET /shard/topk?u=42: candidates of u inside
+// the owned range (or an explicit lo/hi override), scored at the fixed
+// floor theta.
+func (h *Handler) handleShardTopK(w http.ResponseWriter, r *http.Request) {
+	u, ok := h.intParam(w, r, "u", -1)
+	if !ok {
+		return
+	}
+	lo, hi, ok := h.rangeParams(w, r)
+	if !ok {
+		return
+	}
+	h.counters.shardQueries.Add(1)
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	start := time.Now()
+	frag, st, err := h.idx.TopKShardCtx(ctx, u, lo, hi)
+	if err != nil {
+		h.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ShardTopKResponse{
+		Query:    u,
+		Shard:    h.manifest.Shard,
+		Frag:     ToWire(frag),
+		Stats:    toStatsJSON(st),
+		ElapsedM: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// ShardBatchRequest is the payload of POST /shard/topk/batch. Lo/Hi,
+// when present, override the owned range (router failover/hedging).
+type ShardBatchRequest struct {
+	Queries []int `json:"queries"`
+	Lo      *int  `json:"lo,omitempty"`
+	Hi      *int  `json:"hi,omitempty"`
+}
+
+// ShardBatchResponse is one ShardTopKResponse per query, request order.
+type ShardBatchResponse struct {
+	Shard    int                 `json:"shard"`
+	Results  []ShardTopKResponse `json:"results"`
+	ElapsedM float64             `json:"elapsed_ms"`
+}
+
+func (h *Handler) handleShardTopKBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ShardBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must be non-empty")
+		return
+	}
+	if len(req.Queries) > h.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch size %d exceeds limit %d", len(req.Queries), h.MaxBatch))
+		return
+	}
+	lo, hi := h.manifest.Lo, h.manifest.Hi
+	if req.Lo != nil {
+		lo = *req.Lo
+	}
+	if req.Hi != nil {
+		hi = *req.Hi
+	}
+	if lo < 0 || hi < lo || hi > h.manifest.Vertices {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("range [%d, %d) invalid for %d vertices", lo, hi, h.manifest.Vertices))
+		return
+	}
+	h.counters.shardBatches.Add(1)
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	start := time.Now()
+	frags, sts, err := h.idx.TopKShardBatchCtx(ctx, req.Queries, lo, hi)
+	if err != nil {
+		h.writeQueryError(w, err)
+		return
+	}
+	resp := ShardBatchResponse{
+		Shard:   h.manifest.Shard,
+		Results: make([]ShardTopKResponse, len(frags)),
+	}
+	for i := range frags {
+		resp.Results[i] = ShardTopKResponse{
+			Query: req.Queries[i],
+			Shard: h.manifest.Shard,
+			Frag:  ToWire(frags[i]),
+			Stats: toStatsJSON(sts[i]),
+		}
+	}
+	resp.ElapsedM = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShardSimilar answers GET /shard/similar?u=42&theta=0.05: the
+// threshold query restricted to the owned range. Fixed-floor mode, so
+// per-shard result lists merge exactly with a plain best-first k-way
+// merge — no fragment replay needed.
+func (h *Handler) handleShardSimilar(w http.ResponseWriter, r *http.Request) {
+	u, ok := h.intParam(w, r, "u", -1)
+	if !ok {
+		return
+	}
+	theta := 0.01
+	if s := r.URL.Query().Get("theta"); s != "" {
+		f, err := parseTheta(s)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		theta = f
+	}
+	lo, hi, ok := h.rangeParams(w, r)
+	if !ok {
+		return
+	}
+	h.counters.shardQueries.Add(1)
+	ctx, cancel := h.queryCtx(r)
+	defer cancel()
+	start := time.Now()
+	res, st, err := h.idx.SimilarShardCtx(ctx, u, theta, lo, hi)
+	if err != nil {
+		h.writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{
+		Query:    u,
+		Results:  toJSON(res),
+		Stats:    toStatsJSON(st),
+		ElapsedM: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

@@ -42,6 +42,40 @@ go run ./cmd/simlint -baseline lint.baseline.json -time-budget 6s ./...
 echo "==> bench smoke (1 iteration each)"
 go test -run - -bench . -benchtime 1x ./...
 
+# Multi-shard smoke: two simserver shards behind simrouter on loopback
+# must answer a query corpus byte-identically — results, ordering, and
+# scan statistics — to a stand-alone simserver over the same graph and
+# seed. This is the end-to-end check of the deterministic scatter-gather
+# merge across real processes and real HTTP.
+echo "==> multi-shard smoke (2 shards + router vs single node)"
+smoketmp="$(mktemp -d)"
+smoke_cleanup() {
+	kill $(cat "$smoketmp"/*.pid 2>/dev/null) 2>/dev/null || true
+	rm -rf "$smoketmp"
+}
+trap smoke_cleanup EXIT
+go build -o "$smoketmp/gengraph" ./cmd/gengraph
+go build -o "$smoketmp/simserver" ./cmd/simserver
+go build -o "$smoketmp/simrouter" ./cmd/simrouter
+go build -o "$smoketmp/topkdiff" ./cmd/topkdiff
+"$smoketmp/gengraph" -kind copying -n 2000 -k 5 -p 0.3 -seed 21 -o "$smoketmp/graph.txt"
+"$smoketmp/simserver" -graph "$smoketmp/graph.txt" -addr 127.0.0.1:19481 >"$smoketmp/single.log" 2>&1 &
+echo $! > "$smoketmp/single.pid"
+"$smoketmp/simserver" -graph "$smoketmp/graph.txt" -shard 0/2 -addr 127.0.0.1:19482 >"$smoketmp/shard0.log" 2>&1 &
+echo $! > "$smoketmp/shard0.pid"
+"$smoketmp/simserver" -graph "$smoketmp/graph.txt" -shard 1/2 -addr 127.0.0.1:19483 >"$smoketmp/shard1.log" 2>&1 &
+echo $! > "$smoketmp/shard1.pid"
+"$smoketmp/simrouter" -shards http://127.0.0.1:19482,http://127.0.0.1:19483 \
+	-addr 127.0.0.1:19484 >"$smoketmp/router.log" 2>&1 &
+echo $! > "$smoketmp/router.pid"
+if ! "$smoketmp/topkdiff" -a http://127.0.0.1:19484 -b http://127.0.0.1:19481 -count 50 -k 20 -wait 60s; then
+	echo "multi-shard smoke failed; router log:"
+	cat "$smoketmp/router.log"
+	exit 1
+fi
+smoke_cleanup
+trap - EXIT
+
 # Walk-kernel perf guard: a short measured run of BenchmarkWalkStep must
 # stay within 2x of the committed BENCH_core.json snapshot, so losing
 # the alias-kernel optimizations (or reintroducing an allocation that

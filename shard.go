@@ -1,0 +1,143 @@
+package simrank
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Shard-serving API: the building blocks of the distributed tier. A
+// shard holds the full index (same graph, same seed) but scores only
+// the candidates in its assigned vertex range; a router merges the
+// per-shard fragments with MergeShardTopK and gets results — and
+// pruning statistics — byte-identical to a single-node query. See
+// internal/core/shard.go for the replay argument and internal/shard for
+// manifests and partitioning.
+
+// ShardCand is one candidate's scoring outcome in a shard fragment:
+// vertex, upper bound, scoring state (ShardUnscored / ShardRoughPruned /
+// ShardScored / ShardScoredNoRough), and the rough and refined estimates
+// where the state says they are valid. Fragments are ordered by UB
+// descending, ties by V ascending.
+type ShardCand = core.ShardCand
+
+// Shard fragment states (ShardCand.State).
+const (
+	ShardUnscored      = core.ShardUnscored
+	ShardRoughPruned   = core.ShardRoughPruned
+	ShardScored        = core.ShardScored
+	ShardScoredNoRough = core.ShardScoredNoRough
+)
+
+// checkRange validates a shard vertex range [lo, hi) against the graph.
+func (ix *Index) checkRange(lo, hi int) error {
+	if lo < 0 || hi < lo || hi > ix.g.NumVertices() {
+		return fmt.Errorf("simrank: shard range [%d, %d) invalid for %d vertices",
+			lo, hi, ix.g.NumVertices())
+	}
+	return nil
+}
+
+// TopKShardCtx runs the shard-restricted scan for a top-k query at u:
+// candidates in [lo, hi) are scored at the fixed floor Threshold and
+// returned as a fragment for MergeShardTopK. The stats carry this
+// shard's cache counters; scan counters are recomputed by the merge.
+func (ix *Index) TopKShardCtx(ctx context.Context, u, lo, hi int) ([]ShardCand, QueryStats, error) {
+	if err := ix.g.checkVertex(u); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := ix.checkRange(lo, hi); err != nil {
+		return nil, QueryStats{}, err
+	}
+	f, st, err := ix.e.TopKShardCtx(ctx, uint32(u), uint32(lo), uint32(hi))
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return f, toQueryStats(st), nil
+}
+
+// TopKShardBatchCtx answers many shard-restricted queries, parallelized
+// across queries like TopKBatchCtx.
+func (ix *Index) TopKShardBatchCtx(ctx context.Context, us []int, lo, hi int) ([][]ShardCand, []QueryStats, error) {
+	if err := ix.checkRange(lo, hi); err != nil {
+		return nil, nil, err
+	}
+	qs := make([]uint32, len(us))
+	for i, u := range us {
+		if err := ix.g.checkVertex(u); err != nil {
+			return nil, nil, err
+		}
+		qs[i] = uint32(u)
+	}
+	frags, sts, err := ix.e.TopKShardBatchCtx(ctx, qs, uint32(lo), uint32(hi))
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := make([]QueryStats, len(sts))
+	for i, st := range sts {
+		stats[i] = toQueryStats(st)
+	}
+	return frags, stats, nil
+}
+
+// SimilarShardCtx is the shard-restricted Similar query. Threshold
+// queries have a fixed pruning floor, so per-shard result lists merge
+// exactly with MergeResults — no replay needed.
+func (ix *Index) SimilarShardCtx(ctx context.Context, u int, threshold float64, lo, hi int) ([]Result, QueryStats, error) {
+	if err := ix.g.checkVertex(u); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := ix.checkRange(lo, hi); err != nil {
+		return nil, QueryStats{}, err
+	}
+	res, st, err := ix.e.ThresholdShardCtx(ctx, uint32(u), threshold, uint32(lo), uint32(hi))
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return toResults(res), toQueryStats(st), nil
+}
+
+// MergeShardTopK merges per-shard fragments covering disjoint vertex
+// ranges and replays the single-node adaptive scan over the merged
+// stream. Results and scan statistics (Candidates, PrunedByBound,
+// PrunedByRough, Refined) are byte-identical to TopKWithStats on the
+// same index; cache counters are zero — sum the per-shard stats for
+// those. theta must be the serving Threshold of the index the fragments
+// came from (see Manifest.Theta in internal/shard).
+func MergeShardTopK(k int, theta float64, frags [][]ShardCand) ([]Result, QueryStats) {
+	res, st := core.MergeShardTopK(k, theta, frags)
+	return toResults(res), toQueryStats(st)
+}
+
+// MergeResults merges per-shard best-first result lists (fixed-floor
+// query modes: Similar) into the global best-first order. k == 0 keeps
+// everything.
+func MergeResults(k int, frags [][]Result) []Result {
+	cs := make([][]core.Scored, len(frags))
+	for i, f := range frags {
+		cs[i] = make([]core.Scored, len(f))
+		for j, r := range f {
+			cs[i][j] = core.Scored{V: uint32(r.Node), Score: r.Score}
+		}
+	}
+	return toResults(core.MergeScored(k, cs))
+}
+
+// ServingFingerprint digests everything that determines query results:
+// the graph structure and every result-affecting parameter (including
+// the seed; excluding Workers and CacheBytes, which move work around
+// without changing output). Two indexes with equal fingerprints answer
+// every query identically, which is the precondition for merging their
+// shard fragments.
+func (ix *Index) ServingFingerprint() (graphFP, paramsFP uint64) {
+	return ix.g.g.Fingerprint(), ix.e.Params().Fingerprint()
+}
+
+// Threshold returns the index's serving pruning threshold θ (the
+// normalized Options.Threshold), which routers must pass to
+// MergeShardTopK.
+func (ix *Index) Threshold() float64 { return ix.e.Params().Theta }
+
+// Seed returns the index's deterministic seed.
+func (ix *Index) Seed() uint64 { return ix.e.Params().Seed }
