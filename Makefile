@@ -41,10 +41,11 @@ lint-baseline:
 	$(GO) run ./cmd/simlint -update-baseline ./...
 
 # Query hot-path microbenchmarks (the 100k-vertex engine build takes a
-# couple of minutes the first time). RouterTopK lives in
-# internal/router: a routed query over a real 3-shard HTTP loopback.
-BENCH_RE := 'TopK$$|SinglePairOneSided|WalkStep|ColdStartLoad|TopKDuringRefresh|TopKZipfThroughput|RouterTopK$$'
-BENCH_PKGS := ./internal/core ./internal/router
+# couple of minutes the first time). RouterTopK/RouterTopKBatch live in
+# internal/router: routed queries over a real 3-shard loopback topology
+# (binary wire). WireCodec measures the binary codec round-trip alone.
+BENCH_RE := 'TopK$$|SinglePairOneSided|WalkStep|ColdStartLoad|TopKDuringRefresh|TopKZipfThroughput|RouterTopK$$|RouterTopKBatch$$|WireCodec'
+BENCH_PKGS := ./internal/core ./internal/router ./internal/wire
 
 bench:
 	$(GO) test -bench $(BENCH_RE) -run - $(BENCH_PKGS)
@@ -53,4 +54,4 @@ bench:
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -bench $(BENCH_RE) -run - $(BENCH_PKGS) | \
-		/tmp/benchjson -meta pkg=internal/core,internal/router -o BENCH_core.json
+		/tmp/benchjson -meta pkg=internal/core,internal/router,internal/wire -o BENCH_core.json

@@ -48,6 +48,7 @@ func main() {
 	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "per-address deadline when probing membership")
 	probeRetry := flag.Duration("probe-retry", time.Second, "how long to wait between membership probe attempts")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+	wireMode := flag.String("wire", router.WireBin, "shard transport encoding: bin (persistent TCP / negotiated HTTP) or json (force JSON)")
 	flag.Parse()
 
 	if *shards == "" {
@@ -63,12 +64,16 @@ func main() {
 		log.Fatal("-shards lists no addresses")
 	}
 
+	if *wireMode != router.WireBin && *wireMode != router.WireJSON {
+		log.Fatalf("-wire must be %q or %q, got %q", router.WireBin, router.WireJSON, *wireMode)
+	}
 	rt := router.New(router.Config{
 		Shards:       addrs,
 		HedgeDelay:   *hedgeDelay,
 		MaxAttempts:  *maxAttempts,
 		QueryTimeout: *queryTimeout,
 		ProbeTimeout: *probeTimeout,
+		Wire:         *wireMode,
 	})
 
 	// Serve immediately — the router answers 503 not_ready until the

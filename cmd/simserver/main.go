@@ -65,6 +65,7 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query computation deadline (0 = unlimited)")
 	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	shardSpec := flag.String("shard", "", "serve as shard i of n, written \"i/n\" (e.g. -shard 0/3); enables owned-range /shard/* queries for a simrouter tier")
+	binAddr := flag.String("bin-addr", "", "also serve the binary shard wire protocol on this TCP address (e.g. :8180); advertised via /shardinfo for the simrouter fast path")
 	flag.Parse()
 
 	if *useMmap && *indexPath == "" {
@@ -153,6 +154,16 @@ func main() {
 		}
 		h := server.NewShard(idx, shardIdx, numShards)
 		h.QueryTimeout = *queryTimeout
+		if *binAddr != "" {
+			// The listener lives until the process exits; HTTP Shutdown
+			// drains queries, and binary conns die with the process.
+			bound, _, err := h.StartBin(*binAddr)
+			if err != nil {
+				buildDone <- fmt.Errorf("bin listener: %w", err)
+				return
+			}
+			log.Printf("binary wire protocol on %s", bound)
+		}
 		ready.Store(h)
 		if numShards > 1 {
 			m := h.Manifest()

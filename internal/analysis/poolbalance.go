@@ -35,7 +35,7 @@ var PoolBalance = &Analyzer{
 }
 
 func runPoolBalance(pass *Pass) error {
-	if !corePackage(pass.Pkg) {
+	if !poolPackage(pass.Pkg) {
 		return nil
 	}
 	for _, f := range pass.Pkg.Files {
@@ -52,6 +52,27 @@ func corePackage(pkg *Package) bool {
 	}
 	rel, ok := modRelPath(pkg)
 	return ok && rel == "internal/core"
+}
+
+// poolPackage widens the poolbalance scope beyond the engine to every
+// tier that owns a sync.Pool of working memory: the wire codec's frame
+// buffers (GetBuf/PutBuf), the shard server's request scratch, and the
+// router's gather sets and binary connections. A leak in any of them
+// degrades steady-state serving the same silent way a leaked engine
+// scratch does.
+func poolPackage(pkg *Package) bool {
+	if corePackage(pkg) {
+		return true
+	}
+	rel, ok := modRelPath(pkg)
+	if !ok {
+		return false
+	}
+	switch rel {
+	case "internal/wire", "internal/server", "internal/router":
+		return true
+	}
+	return false
 }
 
 // acquire is the first `s := e.getScratch()` (or pool.Get()) binding a

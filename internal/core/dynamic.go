@@ -373,6 +373,15 @@ func (d *DynamicEngine) buildSnapshot(old *Snapshot, g *graph.Graph, dirty map[u
 			return !hit
 		})
 	}
+	if old.prolog != nil && ne.prolog != nil {
+		// A prolog entry depends only on the query vertex's T-step walk
+		// neighbourhood — the same footprint as a candidate tally — so
+		// the same unaffected-set predicate keeps it valid.
+		ne.prolog.carryForward(old.prolog, func(v uint32) bool {
+			_, hit := affected[v]
+			return !hit
+		})
+	}
 	return ne.Seal(), false
 }
 

@@ -109,6 +109,12 @@ type Params struct {
 	// re-done, never the results: query output is byte-identical with
 	// the cache on or off.
 	CacheBytes int64
+	// PrologBytes bounds the per-snapshot query-prolog cache of sampled
+	// walk distributions (prolog.go). The query-side distribution is a
+	// pure function of (snapshot, query vertex), so caching it changes
+	// where the sampling work happens, never any result. 0 means the
+	// default (32 MiB); negative disables the cache.
+	PrologBytes int64
 	// Seed makes every Monte-Carlo component deterministic.
 	Seed uint64
 	// Workers bounds preprocess and all-pairs parallelism.
@@ -182,6 +188,9 @@ func (p Params) normalized() Params {
 	if p.ExactSupportCap <= 0 {
 		p.ExactSupportCap = 4096
 	}
+	if p.PrologBytes == 0 {
+		p.PrologBytes = 32 << 20
+	}
 	if p.Workers <= 0 {
 		p.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -192,9 +201,9 @@ func (p Params) normalized() Params {
 // for shard manifests: two snapshots with equal graph fingerprint, equal
 // Seed, and equal parameter fingerprint produce byte-identical query
 // results, so a router refuses to merge fragments across mismatched
-// fingerprints. CacheBytes and Workers are deliberately excluded — both
-// change where work happens, never what a query returns (the
-// determinism suite pins that invariant).
+// fingerprints. CacheBytes, PrologBytes and Workers are deliberately
+// excluded — all three change where work happens, never what a query
+// returns (the determinism suite pins that invariant).
 func (p Params) Fingerprint() uint64 {
 	p = p.normalized()
 	h := uint64(0x5370a2c03f1e9d4b) // arbitrary non-zero basis

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The prolog cache must be invisible in the output: results AND the full
+// per-query stats are byte-identical with the cache enabled or disabled,
+// cold and warm, at any worker count — the cached distribution replaces
+// a resampling that would have produced the exact same bits.
+func TestPrologByteIdenticalTopK(t *testing.T) {
+	g := graph.CopyingModel(2500, 6, 0.3, 13)
+	build := func(prologBytes int64, workers int) *Engine {
+		p := DefaultParams()
+		p.Seed = 23
+		p.Workers = workers
+		p.PrologBytes = prologBytes
+		return Build(g, p)
+	}
+	queries := []uint32{0, 42, 42, 1200, 2499, 42}
+
+	off := build(-1, 1)
+	if off.PrologStats() != (CacheStats{}) {
+		t.Fatalf("disabled prolog cache reports %+v", off.PrologStats())
+	}
+	type ref struct {
+		res   []Scored
+		stats QueryStats
+	}
+	want := make([]ref, len(queries))
+	for i, u := range queries {
+		res, st := off.TopKStats(u, 20)
+		want[i] = ref{res, st}
+	}
+
+	for _, workers := range []int{1, 4} {
+		on := build(1<<30, workers)
+		for pass := 0; pass < 2; pass++ {
+			for i, u := range queries {
+				res, st := on.TopKStats(u, 20)
+				label := "workers=" + itoa(workers) + " pass=" + itoa(pass) + " u=" + itoa(int(u))
+				sameResults(t, label, res, want[i].res)
+				if st != want[i].stats {
+					t.Fatalf("%s: stats %+v, want %+v", label, st, want[i].stats)
+				}
+			}
+		}
+		ps := on.PrologStats()
+		// Six queries per pass over four distinct vertices, two passes:
+		// four misses, the rest hits.
+		if ps.Misses != 4 || ps.Hits != int64(2*len(queries)-4) {
+			t.Fatalf("workers=%d: prolog counters %+v", workers, ps)
+		}
+		if ps.Entries != 4 || ps.Evictions != 0 {
+			t.Fatalf("workers=%d: prolog occupancy %+v", workers, ps)
+		}
+	}
+}
+
+// The shard scan shares searchProlog, so fragments served with a warm
+// prolog cache must match a cold shard-less engine fragment for
+// fragment and stats alike.
+func TestPrologByteIdenticalShardScan(t *testing.T) {
+	g := graph.CopyingModel(1500, 5, 0.3, 7)
+	p := DefaultParams()
+	p.Seed = 5
+	off := Build(g, p)
+	offP := p
+	offP.PrologBytes = -1
+	cold := Build(g, offP)
+
+	for _, u := range []uint32{3, 700, 700, 1499} {
+		for _, r := range [][2]uint32{{0, 750}, {750, 1500}} {
+			wantFrag, wantStats, err := cold.TopKShardCtx(context.Background(), u, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotFrag, gotStats, err := off.TopKShardCtx(context.Background(), u, r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("u=%d range=%v: stats %+v, want %+v", u, r, gotStats, wantStats)
+			}
+			if len(gotFrag) != len(wantFrag) {
+				t.Fatalf("u=%d range=%v: %d rows, want %d", u, r, len(gotFrag), len(wantFrag))
+			}
+			for i := range wantFrag {
+				if gotFrag[i] != wantFrag[i] {
+					t.Fatalf("u=%d range=%v row %d: %+v, want %+v", u, r, i, gotFrag[i], wantFrag[i])
+				}
+			}
+		}
+	}
+}
+
+// Concurrent queries at the same vertex race get/put; first-in wins and
+// everyone must score from a byte-identical distribution. Run with
+// -race this doubles as the lifecycle check for the shared entries.
+func TestPrologConcurrentSameVertex(t *testing.T) {
+	g := graph.CopyingModel(1200, 5, 0.3, 3)
+	p := DefaultParams()
+	p.Seed = 9
+	eng := Build(g, p)
+	want := eng.TopK(77, 15)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := eng.TopK(77, 15)
+			if len(got) != len(want) {
+				errs <- "length mismatch"
+				return
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					errs <- "result mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	ps := eng.PrologStats()
+	if ps.Misses+ps.Hits != 17 {
+		t.Fatalf("prolog counters %+v, want 17 lookups", ps)
+	}
+	if ps.Entries != 1 {
+		t.Fatalf("prolog entries %d, want 1", ps.Entries)
+	}
+}
+
+// A tiny budget must only suppress caching, never distort results, and
+// the byte accounting must stay within budget at quiescence.
+func TestPrologTinyBudget(t *testing.T) {
+	g := graph.CopyingModel(800, 5, 0.3, 1)
+	p := DefaultParams()
+	p.Seed = 2
+	pOn := p
+	pOn.PrologBytes = 4096 // a few entries at most
+	small := Build(g, pOn)
+	pOff := p
+	pOff.PrologBytes = -1
+	ref := Build(g, pOff)
+
+	for u := uint32(0); u < 40; u++ {
+		sameResults(t, "u="+itoa(int(u)), small.TopK(u, 10), ref.TopK(u, 10))
+	}
+	ps := small.PrologStats()
+	if ps.BytesInUse > ps.BudgetBytes {
+		t.Fatalf("over budget at quiescence: %+v", ps)
+	}
+}

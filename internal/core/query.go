@@ -254,8 +254,15 @@ func (e *Snapshot) searchProlog(qs *scratch, u uint32, r *rng.Source) (wd *walkD
 	wd = &qs.wd
 	if e.p.ExactScoring && e.exactWalkDistInto(wd, qs, u, e.p.ExactSupportCap) {
 		exactU = true
+	} else if pe := e.prologGet(u); pe != nil {
+		// The sampled distribution is a pure function of (snapshot, u):
+		// r = queryRNG(u) feeds only this sampling and nothing after it,
+		// and wd is consumed strictly read-only downstream, so an
+		// immutable cached copy is byte-equivalent to resampling.
+		wd = &pe.wd
 	} else {
 		e.sampleWalkDistInto(wd, qs, u, e.p.RAlpha, r)
+		e.prologPut(u, wd)
 	}
 	if !e.p.DisableL1 {
 		l1 = e.computeL1From(qs, wd, dist, exploredRadius)

@@ -115,7 +115,15 @@ func SortShardCands(cs []ShardCand) {
 // counters during the merge). The full range [0, N) reproduces exactly
 // the work of a single-node query with a floor pinned at Theta.
 func (e *Snapshot) TopKShardCtx(ctx context.Context, u uint32, lo, hi uint32) ([]ShardCand, QueryStats, error) {
-	return e.shardScan(ctx, u, lo, hi, e.p.Workers)
+	return e.shardScan(ctx, u, lo, hi, e.p.Workers, nil)
+}
+
+// TopKShardAppendCtx is TopKShardCtx writing the fragment into dst
+// (reusing its capacity, like append), for servers that recycle
+// fragment buffers across requests. The returned slice is dst grown as
+// needed; dst's previous contents are discarded.
+func (e *Snapshot) TopKShardAppendCtx(ctx context.Context, u uint32, lo, hi uint32, dst []ShardCand) ([]ShardCand, QueryStats, error) {
+	return e.shardScan(ctx, u, lo, hi, e.p.Workers, dst[:0])
 }
 
 // TopKShardBatchCtx answers many shard-restricted queries, parallelized
@@ -123,21 +131,36 @@ func (e *Snapshot) TopKShardCtx(ctx context.Context, u uint32, lo, hi uint32) ([
 func (e *Snapshot) TopKShardBatchCtx(ctx context.Context, us []uint32, lo, hi uint32) ([][]ShardCand, []QueryStats, error) {
 	res := make([][]ShardCand, len(us))
 	sts := make([]QueryStats, len(us))
-	err := e.forEachIndexParallel(ctx, len(us), func(i int) {
-		f, st, err := e.shardScan(ctx, us[i], lo, hi, 1)
-		if err != nil {
-			return // the pool sees the cancelled ctx and reports it
-		}
-		res[i] = f
-		sts[i] = st
-	})
-	if err != nil {
+	if err := e.topKShardBatchInto(ctx, us, lo, hi, res, sts); err != nil {
 		return nil, nil, err
 	}
 	return res, sts, nil
 }
 
-func (e *Snapshot) shardScan(ctx context.Context, u uint32, lo, hi uint32, workers int) ([]ShardCand, QueryStats, error) {
+// TopKShardBatchAppendCtx is TopKShardBatchCtx writing fragments and
+// stats into caller-supplied parallel slices (len(frags) and len(sts)
+// must equal len(us)); frags[i]'s capacity is reused per query.
+func (e *Snapshot) TopKShardBatchAppendCtx(ctx context.Context, us []uint32, lo, hi uint32, frags [][]ShardCand, sts []QueryStats) error {
+	for i := range frags {
+		frags[i] = frags[i][:0]
+	}
+	return e.topKShardBatchInto(ctx, us, lo, hi, frags, sts)
+}
+
+func (e *Snapshot) topKShardBatchInto(ctx context.Context, us []uint32, lo, hi uint32, frags [][]ShardCand, sts []QueryStats) error {
+	return e.forEachIndexParallel(ctx, len(us), func(i int) {
+		f, st, err := e.shardScan(ctx, us[i], lo, hi, 1, frags[i])
+		if err != nil {
+			return // the pool sees the cancelled ctx and reports it
+		}
+		frags[i] = f
+		sts[i] = st
+	})
+}
+
+// shardScan writes the fragment into dst (grown as needed; nil
+// allocates fresh). dst must arrive with length zero or nil.
+func (e *Snapshot) shardScan(ctx context.Context, u uint32, lo, hi uint32, workers int, dst []ShardCand) ([]ShardCand, QueryStats, error) {
 	var stats QueryStats
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
@@ -166,7 +189,7 @@ func (e *Snapshot) shardScan(ctx context.Context, u uint32, lo, hi uint32, worke
 	stats.Candidates = len(bs)
 
 	theta := e.p.Theta
-	out := make([]ShardCand, len(bs))
+	out := slices.Grow(dst, len(bs))[:len(bs)]
 	// Everything below Theta is below every admissible floor: return it
 	// unscored. Bounds are sorted descending, so this is a suffix.
 	cut := len(bs)
@@ -330,6 +353,20 @@ func (e *Snapshot) ThresholdShardCtx(ctx context.Context, u uint32, theta float6
 // search()'s on the union of the fragments; cache counters are zero
 // here — the caller sums the per-shard stats for those.
 func MergeShardTopK(k int, theta float64, frags [][]ShardCand) ([]Scored, QueryStats) {
+	return MergeShardTopKScratch(k, theta, frags, nil)
+}
+
+// MergeScratch holds the reusable buffers of a fragment merge, so a
+// router can run MergeShardTopKScratch per query without re-allocating
+// the merged candidate stream. The zero value is ready to use.
+type MergeScratch struct {
+	bs    []ShardCand
+	heads []int
+}
+
+// MergeShardTopKScratch is MergeShardTopK drawing its working memory
+// from ms (nil behaves like a fresh scratch).
+func MergeShardTopKScratch(k int, theta float64, frags [][]ShardCand, ms *MergeScratch) ([]Scored, QueryStats) {
 	var stats QueryStats
 	total := 0
 	for _, f := range frags {
@@ -337,10 +374,17 @@ func MergeShardTopK(k int, theta float64, frags [][]ShardCand) ([]Scored, QueryS
 	}
 	stats.Candidates = total
 
+	if ms == nil {
+		ms = &MergeScratch{}
+	}
 	// K-way merge into the global bound order. Shard counts are small
 	// (single digits), so a linear head scan beats heap bookkeeping.
-	bs := make([]ShardCand, 0, total)
-	heads := make([]int, len(frags))
+	bs := slices.Grow(ms.bs[:0], total)
+	heads := ms.heads[:0]
+	for range frags {
+		heads = append(heads, 0)
+	}
+	ms.heads = heads
 	for merged := 0; merged < total; merged++ {
 		best := -1
 		for fi, f := range frags {
@@ -354,6 +398,7 @@ func MergeShardTopK(k int, theta float64, frags [][]ShardCand) ([]Scored, QueryS
 		bs = append(bs, frags[best][heads[best]])
 		heads[best]++
 	}
+	ms.bs = bs
 
 	acc := newTopKAcc(k)
 	if k == 0 {

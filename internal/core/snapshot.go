@@ -45,6 +45,11 @@ type Snapshot struct {
 	// immutable.
 	cache *tallyCache
 
+	// prolog caches the query-side sampled walk distribution per vertex
+	// (prolog.go); nil when Params.PrologBytes is negative. Like cache,
+	// it holds derived, deterministic data only.
+	prolog *prologCache
+
 	// pool recycles query/preprocess scratch buffers (see scratch.go).
 	// poolGets/poolPuts count acquire/release round trips; they must be
 	// equal whenever no query is in flight (the cancellation tests assert
@@ -75,6 +80,9 @@ func newSnapshot(g *graph.Graph, p Params) *Snapshot {
 	if sn.p.CacheBytes > 0 && sn.p.RScore <= maxTallyCount {
 		sn.cache = newTallyCache(g.N(), sn.p.CacheBytes)
 	}
+	if sn.p.PrologBytes > 0 {
+		sn.prolog = newPrologCache(n, sn.p.PrologBytes)
+	}
 	return sn
 }
 
@@ -100,6 +108,15 @@ func (e *Snapshot) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return e.cache.stats()
+}
+
+// PrologStats reports the query-prolog-cache counters; all zero when
+// that cache is disabled.
+func (e *Snapshot) PrologStats() CacheStats {
+	if e.prolog == nil {
+		return CacheStats{}
+	}
+	return e.prolog.stats()
 }
 
 // PoolBalance reports the scratch-pool acquire/release counters; they are

@@ -1,0 +1,108 @@
+package router
+
+import (
+	simrank "repro"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// gather is the pooled working set of one routed query: per-shard
+// decode targets (whose fragment capacity is reused across queries),
+// the fragment pointers the merge consumes, and the merge scratch
+// itself. Acquire with getGather, release with putGather on every
+// return path. Per-shard slots are only touched by that shard's fan-out
+// goroutine, so a gather is safe under the scatter.
+type gather struct {
+	errs []error
+
+	// topk
+	frames  []wire.Frame
+	resps   []wire.TopKResp
+	frags   [][]simrank.ShardCand
+	stats   []simrank.QueryStats
+	results []server.ResultJSON
+	ms      simrank.MergeScratch
+
+	// batch: per shard either the wire decode target (binary) or the
+	// JSON-converted scratch fills bfrags/bstats, which the merge reads.
+	bresps []wire.BatchResp
+	bjson  []batchScratch
+	bfrags [][][]simrank.ShardCand
+	bstats [][]wire.Stats
+	qfrags [][]simrank.ShardCand
+	q32    []uint32
+
+	// similar
+	sresps []wire.SimilarResp
+	rfrags [][]shard.Ranked
+}
+
+// batchScratch holds one shard's JSON-path batch conversion: every
+// frags slot is an independent allocation, so capacity reuse never
+// overlaps rows.
+type batchScratch struct {
+	frags [][]simrank.ShardCand
+	stats []wire.Stats
+}
+
+// ensure sizes every per-shard slice for n shards, keeping capacity.
+func (g *gather) ensure(n int) {
+	if cap(g.errs) < n {
+		g.errs = make([]error, n)
+		g.frames = make([]wire.Frame, n)
+		g.resps = make([]wire.TopKResp, n)
+		g.frags = make([][]simrank.ShardCand, n)
+		g.stats = make([]simrank.QueryStats, n)
+		g.bresps = make([]wire.BatchResp, n)
+		g.bjson = make([]batchScratch, n)
+		g.bfrags = make([][][]simrank.ShardCand, n)
+		g.bstats = make([][]wire.Stats, n)
+		g.qfrags = make([][]simrank.ShardCand, n)
+		g.sresps = make([]wire.SimilarResp, n)
+		g.rfrags = make([][]shard.Ranked, n)
+	}
+	g.errs = g.errs[:n]
+	g.frames = g.frames[:n]
+	g.resps = g.resps[:n]
+	g.frags = g.frags[:n]
+	g.stats = g.stats[:n]
+	g.bresps = g.bresps[:n]
+	g.bjson = g.bjson[:n]
+	g.bfrags = g.bfrags[:n]
+	g.bstats = g.bstats[:n]
+	g.qfrags = g.qfrags[:n]
+	g.sresps = g.sresps[:n]
+	g.rfrags = g.rfrags[:n]
+	for i := 0; i < n; i++ {
+		g.errs[i] = nil
+		g.frags[i] = nil
+		g.stats[i] = simrank.QueryStats{}
+		g.bfrags[i] = nil
+		g.bstats[i] = nil
+		g.qfrags[i] = nil
+		g.rfrags[i] = g.rfrags[i][:0]
+	}
+}
+
+// getGather transfers a pooled gather to the caller, who must ensure()
+// it for the topology size and release it with putGather on every path.
+func (rt *Router) getGather() *gather {
+	return rt.gathers.Get().(*gather)
+}
+
+func (rt *Router) putGather(g *gather) {
+	rt.gathers.Put(g)
+}
+
+// ensureBatch sizes one shard's JSON batch scratch for q queries.
+func (bs *batchScratch) ensureBatch(q int) {
+	for len(bs.frags) < q {
+		bs.frags = append(bs.frags, nil)
+	}
+	bs.frags = bs.frags[:q]
+	if cap(bs.stats) < q {
+		bs.stats = make([]wire.Stats, q)
+	}
+	bs.stats = bs.stats[:q]
+}

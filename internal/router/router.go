@@ -20,6 +20,15 @@
 // server for any vertex range: a slow shard is hedged to the next
 // server after HedgeDelay, and a failed request fails over immediately,
 // both through the lo/hi range override on the /shard/* endpoints.
+//
+// Shard traffic prefers the binary wire codec (internal/wire). A shard
+// that advertises Manifest.BinAddr is reached over pooled persistent
+// TCP; otherwise the router negotiates binary over HTTP with
+// "Accept: application/x-simrank-bin"; Config.Wire == WireJSON forces
+// plain JSON for every exchange. All three transports carry exact
+// float64 bit patterns (the binary codec by construction, JSON via Go's
+// shortest-round-trip encoding), so the merged answers are
+// byte-identical regardless of transport.
 package router
 
 import (
@@ -29,15 +38,29 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	simrank "repro"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// Wire modes (Config.Wire).
+const (
+	// WireBin (also the "" default) prefers the binary codec: persistent
+	// TCP when a shard advertises BinAddr, Accept-negotiated HTTP
+	// otherwise.
+	WireBin = "bin"
+	// WireJSON forces JSON over HTTP for every shard exchange.
+	WireJSON = "json"
 )
 
 // Config configures a Router. Only Shards is required.
@@ -63,8 +86,12 @@ type Config struct {
 	// (defaults 1000 and 1024).
 	MaxK     int
 	MaxBatch int
-	// Client is the HTTP client for shard requests (default a fresh
-	// http.Client; per-request contexts carry the deadlines).
+	// Wire selects the shard transport encoding: WireBin (default)
+	// or WireJSON.
+	Wire string
+	// Client is the HTTP client for shard requests (default: a client
+	// with a keep-alive transport whose idle pool is sized to the
+	// topology fan-out times the hedging attempts).
 	Client *http.Client
 }
 
@@ -75,6 +102,10 @@ type shardCounters struct {
 	hedges      atomic.Int64 // extra attempts launched (slow or failed primary)
 	attemptErrs atomic.Int64 // individual attempts that errored
 	failures    atomic.Int64 // fetches that failed after every attempt
+	bytesSent   atomic.Int64 // request bytes shipped (TCP frames + HTTP payloads)
+	bytesRecv   atomic.Int64 // response bytes received
+	encodeNS    atomic.Int64 // ns spent encoding binary requests
+	decodeNS    atomic.Int64 // ns spent parsing binary responses
 }
 
 // Router is an http.Handler that scatter-gathers queries over a shard
@@ -84,6 +115,12 @@ type Router struct {
 	client *http.Client
 	mux    *http.ServeMux
 	top    atomic.Pointer[topology]
+
+	// gathers pools per-query scatter/merge working sets; binPools holds
+	// the persistent binary connections per shard address.
+	gathers  sync.Pool
+	binMu    sync.Mutex
+	binPools map[string]*binPool
 
 	queries  atomic.Int64
 	batches  atomic.Int64
@@ -99,6 +136,7 @@ type Router struct {
 type topology struct {
 	manifests []shard.Manifest // sorted by shard index
 	addrs     []string         // addrs[i] natively serves shard i
+	binAddrs  []string         // resolved binary listener of addrs[i] ("" = none)
 	vertices  int
 	theta     float64
 }
@@ -124,9 +162,25 @@ func New(cfg Config) *Router {
 	for i, a := range cfg.Shards {
 		cfg.Shards[i] = strings.TrimRight(a, "/")
 	}
-	rt := &Router{cfg: cfg, client: cfg.Client, shards: make([]shardCounters, len(cfg.Shards))}
+	rt := &Router{cfg: cfg, client: cfg.Client,
+		shards:   make([]shardCounters, len(cfg.Shards)),
+		binPools: make(map[string]*binPool),
+	}
+	rt.gathers.New = func() any { return new(gather) }
 	if rt.client == nil {
-		rt.client = &http.Client{}
+		// Any server can answer any range (failover/hedging), so one host
+		// may carry the whole fan-out times the attempt budget; size the
+		// idle pool to keep every such connection warm.
+		perHost := len(cfg.Shards) * cfg.MaxAttempts
+		if perHost < 8 {
+			perHost = 8
+		}
+		rt.client = &http.Client{Transport: &http.Transport{
+			Proxy:               http.ProxyFromEnvironment,
+			MaxIdleConns:        perHost * maxInt(len(cfg.Shards), 1),
+			MaxIdleConnsPerHost: perHost,
+			IdleConnTimeout:     90 * time.Second,
+		}}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/topk", rt.handleTopK)
@@ -138,6 +192,16 @@ func New(cfg Config) *Router {
 	rt.mux = mux
 	return rt
 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// binEnabled reports whether binary shard transport is allowed.
+func (rt *Router) binEnabled() bool { return rt.cfg.Wire != WireJSON }
 
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -165,14 +229,37 @@ func (rt *Router) Probe(ctx context.Context) error {
 	t := &topology{
 		manifests: sorted,
 		addrs:     make([]string, len(sorted)),
+		binAddrs:  make([]string, len(sorted)),
 		vertices:  sorted[0].Vertices,
 		theta:     sorted[0].Theta,
 	}
 	for i, m := range ms {
 		t.addrs[m.Shard] = rt.cfg.Shards[i]
+		t.binAddrs[m.Shard] = resolveBinAddr(rt.cfg.Shards[i], m.BinAddr)
 	}
 	rt.top.Store(t)
 	return nil
+}
+
+// resolveBinAddr turns an advertised BinAddr into a dialable host:port.
+// Shards that bound a wildcard or unspecified address mean "same host
+// as my HTTP endpoint", so the port is grafted onto the HTTP host.
+func resolveBinAddr(httpBase, bin string) string {
+	if bin == "" {
+		return ""
+	}
+	host, port, err := net.SplitHostPort(bin)
+	if err != nil {
+		return ""
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		u, err := url.Parse(httpBase)
+		if err != nil || u.Hostname() == "" {
+			return ""
+		}
+		return net.JoinHostPort(u.Hostname(), port)
+	}
+	return bin
 }
 
 func (rt *Router) probeOne(ctx context.Context, addr string, m *shard.Manifest) error {
@@ -195,7 +282,8 @@ func (rt *Router) probeOne(ctx context.Context, addr string, m *shard.Manifest) 
 	return json.Unmarshal(body, m)
 }
 
-// get issues a GET under ctx and slurps the body.
+// get issues a plain GET under ctx and slurps the body (probe and
+// statusz reachability traffic — never negotiates binary).
 func (rt *Router) get(ctx context.Context, url string) (int, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -210,19 +298,45 @@ func (rt *Router) get(ctx context.Context, url string) (int, []byte, error) {
 	return resp.StatusCode, body, err
 }
 
-// post issues a POST of a JSON body under ctx and slurps the response.
-func (rt *Router) post(ctx context.Context, url string, payload []byte) (int, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+// getWire issues a shard-endpoint GET, negotiating a binary response
+// unless JSON is forced, and counts received bytes for shard si.
+func (rt *Router) getWire(ctx context.Context, sc *shardCounters, url string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if rt.binEnabled() {
+		req.Header.Set("Accept", wire.ContentType)
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
+	sc.bytesRecv.Add(int64(len(body)))
+	return resp.StatusCode, body, err
+}
+
+// postWire issues a shard-endpoint POST with the given payload and
+// content type, negotiating a binary response unless JSON is forced.
+func (rt *Router) postWire(ctx context.Context, sc *shardCounters, url string, payload []byte, contentType string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if rt.binEnabled() {
+		req.Header.Set("Accept", wire.ContentType)
+	}
+	sc.bytesSent.Add(int64(len(payload)))
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	sc.bytesRecv.Add(int64(len(body)))
 	return resp.StatusCode, body, err
 }
 
@@ -245,45 +359,6 @@ func asUpstreamError(status int, body []byte) error {
 		er.Error = strings.TrimSpace(string(body))
 	}
 	return &upstreamError{Status: status, Code: er.Code, Msg: er.Error}
-}
-
-// fetch runs one range request with failover and hedging: attempt a
-// goes to the server (si+a) mod S with an explicit lo/hi override, so a
-// slow or down shard is served by its neighbor from the same snapshot.
-func (rt *Router) fetch(ctx context.Context, t *topology, si int, do func(ctx context.Context, addr string) ([]byte, error)) ([]byte, error) {
-	sc := &rt.shards[si]
-	sc.requests.Add(1)
-	attempts := rt.cfg.MaxAttempts
-	body, hedges, errs, err := hedged(ctx, rt.cfg.HedgeDelay, attempts,
-		func(ctx context.Context, a int) ([]byte, error) {
-			return do(ctx, t.addrs[(si+a)%len(t.addrs)])
-		})
-	sc.hedges.Add(int64(hedges))
-	sc.attemptErrs.Add(int64(errs))
-	if err != nil {
-		sc.failures.Add(1)
-	}
-	return body, err
-}
-
-// fetchTopK fetches shard si's fragment for query u.
-func (rt *Router) fetchTopK(ctx context.Context, t *topology, si, u int) (server.ShardTopKResponse, error) {
-	m := t.manifests[si]
-	body, err := rt.fetch(ctx, t, si, func(ctx context.Context, addr string) ([]byte, error) {
-		status, body, err := rt.get(ctx, fmt.Sprintf("%s/shard/topk?u=%d&lo=%d&hi=%d", addr, u, m.Lo, m.Hi))
-		if err != nil {
-			return nil, err
-		}
-		if status != http.StatusOK {
-			return nil, asUpstreamError(status, body)
-		}
-		return body, nil
-	})
-	var resp server.ShardTopKResponse
-	if err != nil {
-		return resp, err
-	}
-	return resp, json.Unmarshal(body, &resp)
 }
 
 // queryCtx mirrors the single-node handler: the request context bounded
@@ -338,7 +413,8 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	u, ok := intParam(w, r, "u", -1)
+	q := r.URL.Query()
+	u, ok := intParam(w, q, "u", -1)
 	if !ok {
 		return
 	}
@@ -346,7 +422,7 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, fmt.Sprintf("vertex %d out of range [0, %d)", u, t.vertices))
 		return
 	}
-	k, ok := intParam(w, r, "k", 20)
+	k, ok := intParam(w, q, "k", 20)
 	if !ok {
 		return
 	}
@@ -354,35 +430,156 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, fmt.Sprintf("k must be in [1, %d]", rt.cfg.MaxK))
 		return
 	}
-	wantStats := r.URL.Query().Get("stats") == "1"
+	wantStats := q.Get("stats") == "1"
 	rt.queries.Add(1)
 	ctx, cancel := rt.queryCtx(r)
 	defer cancel()
 	start := time.Now()
 	n := len(t.addrs)
-	frags := make([][]simrank.ShardCand, n)
-	stats := make([]*server.QueryStatsJSON, n)
-	errs := make([]error, n)
+	g := rt.getGather()
+	g.ensure(n)
+	defer rt.putGather(g)
 	fanout(n, func(i int) {
-		resp, err := rt.fetchTopK(ctx, t, i, u)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		frags[i] = server.FromWire(resp.Frag)
-		stats[i] = resp.Stats
+		g.errs[i] = rt.fetchTopKFrag(ctx, t, i, u, g)
 	})
-	if err := firstError(errs); err != nil {
+	if err := firstError(g.errs); err != nil {
 		rt.writeQueryError(w, err)
 		return
 	}
-	res, st := simrank.MergeShardTopK(k, t.theta, frags)
-	resp := server.TopKResponse{Query: u, Results: resultsJSON(res)}
+	res, st := simrank.MergeShardTopKScratch(k, t.theta, g.frags, &g.ms)
+	g.results = appendResults(g.results[:0], res)
+	resp := server.TopKResponse{Query: u, Results: g.results}
 	if wantStats {
-		resp.Stats = mergedStatsJSON(st, stats)
+		resp.Stats = mergedStats(st, g.stats)
 	}
 	resp.ElapsedM = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// fetchTopKFrag fetches shard si's fragment for query u into g. With
+// hedging disabled (the default) attempts run sequentially — attempt a
+// goes to server (si+a) mod S with an explicit lo/hi override — and the
+// binary transport is preferred per server. With HedgeDelay > 0
+// attempts race over HTTP (binary-negotiated unless JSON is forced),
+// because concurrent attempts must not share g's decode slots.
+func (rt *Router) fetchTopKFrag(ctx context.Context, t *topology, si, u int, g *gather) error {
+	sc := &rt.shards[si]
+	sc.requests.Add(1)
+	m := t.manifests[si]
+	if rt.cfg.HedgeDelay > 0 {
+		body, hedges, errs, err := hedged(ctx, rt.cfg.HedgeDelay, rt.cfg.MaxAttempts,
+			func(ctx context.Context, a int) ([]byte, error) {
+				addr := t.addrs[(si+a)%len(t.addrs)]
+				return rt.getShardOK(ctx, sc, fmt.Sprintf("%s/shard/topk?u=%d&lo=%d&hi=%d", addr, u, m.Lo, m.Hi))
+			})
+		sc.hedges.Add(int64(hedges))
+		sc.attemptErrs.Add(int64(errs))
+		if err != nil {
+			sc.failures.Add(1)
+			return err
+		}
+		return rt.decodeTopKBody(body, si, g)
+	}
+	var firstErr error
+	for a := 0; a < rt.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			sc.hedges.Add(1)
+		}
+		j := (si + a) % len(t.addrs)
+		err := rt.tryTopK(ctx, t, j, si, u, m.Lo, m.Hi, g)
+		if err == nil {
+			return nil
+		}
+		sc.attemptErrs.Add(1)
+		if firstErr == nil {
+			firstErr = err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	sc.failures.Add(1)
+	return firstErr
+}
+
+// getShardOK is a getWire that lifts non-200 answers into upstream
+// errors — the hedged-attempt shape.
+func (rt *Router) getShardOK(ctx context.Context, sc *shardCounters, url string) ([]byte, error) {
+	status, body, err := rt.getWire(ctx, sc, url)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, asUpstreamError(status, body)
+	}
+	return body, nil
+}
+
+// tryTopK runs one attempt against server j on behalf of shard si:
+// persistent binary TCP when advertised, falling back to HTTP (with
+// binary negotiation) on transport failure or when TCP is unavailable.
+func (rt *Router) tryTopK(ctx context.Context, t *topology, j, si, u, lo, hi int, g *gather) error {
+	sc := &rt.shards[si]
+	if rt.binEnabled() && t.binAddrs[j] != "" {
+		err := rt.binCall(ctx, t.binAddrs[j], sc,
+			func(dst []byte) []byte {
+				return wire.AppendTopKReq(dst, wire.TopKReq{U: uint32(u), Lo: uint32(lo), Hi: uint32(hi)})
+			},
+			func(f *wire.Frame) error {
+				if err := f.TopKResp(&g.resps[si]); err != nil {
+					return err
+				}
+				g.frags[si] = g.resps[si].Frag
+				g.stats[si] = server.StatsFromWire(g.resps[si].Stats)
+				return nil
+			})
+		var ue *upstreamError
+		if err == nil || errors.As(err, &ue) || ctx.Err() != nil {
+			return err
+		}
+		// TCP transport failed; the HTTP endpoint may still be up.
+	}
+	body, err := rt.getShardOK(ctx, sc, fmt.Sprintf("%s/shard/topk?u=%d&lo=%d&hi=%d", t.addrs[j], u, lo, hi))
+	if err != nil {
+		return err
+	}
+	return rt.decodeTopKBody(body, si, g)
+}
+
+// decodeTopKBody lowers an HTTP body — binary frame or JSON — into g's
+// slot for shard si, reusing the slot's fragment capacity.
+func (rt *Router) decodeTopKBody(body []byte, si int, g *gather) error {
+	sc := &rt.shards[si]
+	if wire.IsFrame(body) {
+		t0 := time.Now()
+		f := &g.frames[si]
+		if err := f.Parse(body); err != nil {
+			return err
+		}
+		if err := f.TopKResp(&g.resps[si]); err != nil {
+			return err
+		}
+		sc.decodeNS.Add(time.Since(t0).Nanoseconds())
+		g.frags[si] = g.resps[si].Frag
+		g.stats[si] = server.StatsFromWire(g.resps[si].Stats)
+		return nil
+	}
+	var resp server.ShardTopKResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return err
+	}
+	dst := g.resps[si].Frag[:0]
+	for _, c := range resp.Frag {
+		dst = append(dst, simrank.ShardCand{V: c.V, UB: c.UB, State: c.State, Rough: c.Rough, Score: c.Score})
+	}
+	g.resps[si].Frag = dst
+	g.frags[si] = dst
+	if resp.Stats != nil {
+		g.stats[si] = statsFromJSON(resp.Stats)
+	} else {
+		g.stats[si] = simrank.QueryStats{}
+	}
+	return nil
 }
 
 func (rt *Router) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
@@ -432,58 +629,181 @@ func (rt *Router) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	n := len(t.addrs)
-	perShard := make([]server.ShardBatchResponse, n)
-	errs := make([]error, n)
+	g := rt.getGather()
+	g.ensure(n)
+	defer rt.putGather(g)
+	g.q32 = g.q32[:0]
+	for _, u := range req.Queries {
+		g.q32 = append(g.q32, uint32(u))
+	}
 	fanout(n, func(i int) {
-		m := t.manifests[i]
-		payload, err := json.Marshal(server.ShardBatchRequest{Queries: req.Queries, Lo: &m.Lo, Hi: &m.Hi})
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		body, err := rt.fetch(ctx, t, i, func(ctx context.Context, addr string) ([]byte, error) {
-			status, body, err := rt.post(ctx, addr+"/shard/topk/batch", payload)
-			if err != nil {
-				return nil, err
-			}
-			if status != http.StatusOK {
-				return nil, asUpstreamError(status, body)
-			}
-			return body, nil
-		})
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		errs[i] = json.Unmarshal(body, &perShard[i])
+		g.errs[i] = rt.fetchBatchFrags(ctx, t, i, req.Queries, g)
 	})
-	if err := firstError(errs); err != nil {
+	if err := firstError(g.errs); err != nil {
 		rt.writeQueryError(w, err)
 		return
 	}
-	for i := range perShard {
-		if len(perShard[i].Results) != len(req.Queries) {
+	for i := 0; i < n; i++ {
+		if len(g.bfrags[i]) != len(req.Queries) {
 			rt.writeQueryError(w, fmt.Errorf("shard %d answered %d fragments for %d queries",
-				i, len(perShard[i].Results), len(req.Queries)))
+				i, len(g.bfrags[i]), len(req.Queries)))
 			return
 		}
 	}
 	resp := server.BatchResponse{K: req.K, Results: make([]server.TopKResponse, len(req.Queries))}
-	for q := range req.Queries {
-		frags := make([][]simrank.ShardCand, n)
-		stats := make([]*server.QueryStatsJSON, n)
-		for i := range perShard {
-			frags[i] = server.FromWire(perShard[i].Results[q].Frag)
-			stats[i] = perShard[i].Results[q].Stats
+	for qi := range req.Queries {
+		for i := 0; i < n; i++ {
+			g.qfrags[i] = g.bfrags[i][qi]
 		}
-		res, st := simrank.MergeShardTopK(req.K, t.theta, frags)
-		resp.Results[q] = server.TopKResponse{Query: req.Queries[q], Results: resultsJSON(res)}
+		res, st := simrank.MergeShardTopKScratch(req.K, t.theta, g.qfrags, &g.ms)
+		resp.Results[qi] = server.TopKResponse{Query: req.Queries[qi], Results: appendResults(nil, res)}
 		if req.Stats {
-			resp.Results[q].Stats = mergedStatsJSON(st, stats)
+			resp.Results[qi].Stats = mergedBatchStats(st, g.bstats, qi)
 		}
 	}
 	resp.ElapsedM = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// fetchBatchFrags fetches shard si's batch of fragments into g,
+// sequential-failover with binary preferred (or hedged HTTP when
+// HedgeDelay > 0, exactly like fetchTopKFrag).
+func (rt *Router) fetchBatchFrags(ctx context.Context, t *topology, si int, queries []int, g *gather) error {
+	sc := &rt.shards[si]
+	sc.requests.Add(1)
+	m := t.manifests[si]
+	if rt.cfg.HedgeDelay > 0 {
+		body, hedges, errs, err := hedged(ctx, rt.cfg.HedgeDelay, rt.cfg.MaxAttempts,
+			func(ctx context.Context, a int) ([]byte, error) {
+				addr := t.addrs[(si+a)%len(t.addrs)]
+				return rt.postBatch(ctx, sc, addr, si, queries, m.Lo, m.Hi, g)
+			})
+		sc.hedges.Add(int64(hedges))
+		sc.attemptErrs.Add(int64(errs))
+		if err != nil {
+			sc.failures.Add(1)
+			return err
+		}
+		return rt.decodeBatchBody(body, si, g)
+	}
+	var firstErr error
+	for a := 0; a < rt.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			sc.hedges.Add(1)
+		}
+		j := (si + a) % len(t.addrs)
+		err := rt.tryBatch(ctx, t, j, si, queries, m.Lo, m.Hi, g)
+		if err == nil {
+			return nil
+		}
+		sc.attemptErrs.Add(1)
+		if firstErr == nil {
+			firstErr = err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	sc.failures.Add(1)
+	return firstErr
+}
+
+// tryBatch runs one batch attempt against server j for shard si.
+func (rt *Router) tryBatch(ctx context.Context, t *topology, j, si int, queries []int, lo, hi int, g *gather) error {
+	sc := &rt.shards[si]
+	if rt.binEnabled() && t.binAddrs[j] != "" {
+		breq := wire.BatchReq{Lo: uint32(lo), Hi: uint32(hi), Queries: g.q32}
+		err := rt.binCall(ctx, t.binAddrs[j], sc,
+			func(dst []byte) []byte {
+				return wire.AppendBatchReq(dst, &breq)
+			},
+			func(f *wire.Frame) error {
+				if err := f.BatchResp(&g.bresps[si]); err != nil {
+					return err
+				}
+				g.bfrags[si] = g.bresps[si].Frags
+				g.bstats[si] = g.bresps[si].Stats
+				return nil
+			})
+		var ue *upstreamError
+		if err == nil || errors.As(err, &ue) || ctx.Err() != nil {
+			return err
+		}
+	}
+	body, err := rt.postBatch(ctx, sc, t.addrs[j], si, queries, lo, hi, g)
+	if err != nil {
+		return err
+	}
+	return rt.decodeBatchBody(body, si, g)
+}
+
+// postBatch ships one batch request over HTTP — a binary frame body
+// when the binary codec is enabled, the JSON shape otherwise — and
+// returns the raw 200 body.
+func (rt *Router) postBatch(ctx context.Context, sc *shardCounters, addr string, si int, queries []int, lo, hi int, g *gather) ([]byte, error) {
+	var payload []byte
+	contentType := "application/json"
+	if rt.binEnabled() {
+		breq := wire.BatchReq{Lo: uint32(lo), Hi: uint32(hi), Queries: g.q32}
+		t0 := time.Now()
+		payload = wire.AppendBatchReq(nil, &breq)
+		sc.encodeNS.Add(time.Since(t0).Nanoseconds())
+		contentType = wire.ContentType
+	} else {
+		var err error
+		payload, err = json.Marshal(server.ShardBatchRequest{Queries: queries, Lo: &lo, Hi: &hi})
+		if err != nil {
+			return nil, err
+		}
+	}
+	status, body, err := rt.postWire(ctx, sc, addr+"/shard/topk/batch", payload, contentType)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, asUpstreamError(status, body)
+	}
+	return body, nil
+}
+
+// decodeBatchBody lowers an HTTP batch body — binary frame or JSON —
+// into g's slots for shard si.
+func (rt *Router) decodeBatchBody(body []byte, si int, g *gather) error {
+	sc := &rt.shards[si]
+	if wire.IsFrame(body) {
+		t0 := time.Now()
+		f := &g.frames[si]
+		if err := f.Parse(body); err != nil {
+			return err
+		}
+		if err := f.BatchResp(&g.bresps[si]); err != nil {
+			return err
+		}
+		sc.decodeNS.Add(time.Since(t0).Nanoseconds())
+		g.bfrags[si] = g.bresps[si].Frags
+		g.bstats[si] = g.bresps[si].Stats
+		return nil
+	}
+	var jr server.ShardBatchResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		return err
+	}
+	bs := &g.bjson[si]
+	bs.ensureBatch(len(jr.Results))
+	for qi := range jr.Results {
+		dst := bs.frags[qi][:0]
+		for _, c := range jr.Results[qi].Frag {
+			dst = append(dst, simrank.ShardCand{V: c.V, UB: c.UB, State: c.State, Rough: c.Rough, Score: c.Score})
+		}
+		bs.frags[qi] = dst
+		bs.stats[qi] = wire.Stats{}
+		if st := jr.Results[qi].Stats; st != nil {
+			bs.stats[qi] = server.StatsToWire(statsFromJSON(st))
+		}
+	}
+	g.bfrags[si] = bs.frags
+	g.bstats[si] = bs.stats
+	return nil
 }
 
 func (rt *Router) handleSimilar(w http.ResponseWriter, r *http.Request) {
@@ -491,7 +811,8 @@ func (rt *Router) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	u, ok := intParam(w, r, "u", -1)
+	q := r.URL.Query()
+	u, ok := intParam(w, q, "u", -1)
 	if !ok {
 		return
 	}
@@ -500,7 +821,7 @@ func (rt *Router) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	theta := 0.01
-	if s := r.URL.Query().Get("theta"); s != "" {
+	if s := q.Get("theta"); s != "" {
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil || f <= 0 || f > 1 {
 			writeBadRequest(w, "theta must be a float in (0, 1]")
@@ -513,39 +834,17 @@ func (rt *Router) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	n := len(t.addrs)
-	frags := make([][]shard.Ranked, n)
-	errs := make([]error, n)
+	g := rt.getGather()
+	g.ensure(n)
+	defer rt.putGather(g)
 	fanout(n, func(i int) {
-		m := t.manifests[i]
-		body, err := rt.fetch(ctx, t, i, func(ctx context.Context, addr string) ([]byte, error) {
-			status, body, err := rt.get(ctx, fmt.Sprintf("%s/shard/similar?u=%d&theta=%s&lo=%d&hi=%d",
-				addr, u, strconv.FormatFloat(theta, 'g', -1, 64), m.Lo, m.Hi))
-			if err != nil {
-				return nil, err
-			}
-			if status != http.StatusOK {
-				return nil, asUpstreamError(status, body)
-			}
-			return body, nil
-		})
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		var resp server.TopKResponse
-		if err := json.Unmarshal(body, &resp); err != nil {
-			errs[i] = err
-			return
-		}
-		for _, res := range resp.Results {
-			frags[i] = append(frags[i], shard.Ranked{Node: res.Node, Score: res.Score})
-		}
+		g.errs[i] = rt.fetchSimilarFrag(ctx, t, i, u, theta, g)
 	})
-	if err := firstError(errs); err != nil {
+	if err := firstError(g.errs); err != nil {
 		rt.writeQueryError(w, err)
 		return
 	}
-	merged := shard.MergeTopK(0, frags)
+	merged := shard.MergeTopK(0, g.rfrags)
 	out := make([]server.ResultJSON, len(merged))
 	for i, m := range merged {
 		out[i] = server.ResultJSON{Node: m.Node, Score: m.Score}
@@ -555,6 +854,109 @@ func (rt *Router) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		Results:  out,
 		ElapsedM: float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// fetchSimilarFrag fetches shard si's threshold results into g.
+func (rt *Router) fetchSimilarFrag(ctx context.Context, t *topology, si, u int, theta float64, g *gather) error {
+	sc := &rt.shards[si]
+	sc.requests.Add(1)
+	m := t.manifests[si]
+	urlFor := func(addr string) string {
+		return fmt.Sprintf("%s/shard/similar?u=%d&theta=%s&lo=%d&hi=%d",
+			addr, u, strconv.FormatFloat(theta, 'g', -1, 64), m.Lo, m.Hi)
+	}
+	if rt.cfg.HedgeDelay > 0 {
+		body, hedges, errs, err := hedged(ctx, rt.cfg.HedgeDelay, rt.cfg.MaxAttempts,
+			func(ctx context.Context, a int) ([]byte, error) {
+				return rt.getShardOK(ctx, sc, urlFor(t.addrs[(si+a)%len(t.addrs)]))
+			})
+		sc.hedges.Add(int64(hedges))
+		sc.attemptErrs.Add(int64(errs))
+		if err != nil {
+			sc.failures.Add(1)
+			return err
+		}
+		return rt.decodeSimilarBody(body, si, g)
+	}
+	var firstErr error
+	for a := 0; a < rt.cfg.MaxAttempts; a++ {
+		if a > 0 {
+			sc.hedges.Add(1)
+		}
+		j := (si + a) % len(t.addrs)
+		err := rt.trySimilar(ctx, t, j, si, u, theta, m.Lo, m.Hi, urlFor(t.addrs[j]), g)
+		if err == nil {
+			return nil
+		}
+		sc.attemptErrs.Add(1)
+		if firstErr == nil {
+			firstErr = err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	sc.failures.Add(1)
+	return firstErr
+}
+
+func (rt *Router) trySimilar(ctx context.Context, t *topology, j, si, u int, theta float64, lo, hi int, httpURL string, g *gather) error {
+	sc := &rt.shards[si]
+	if rt.binEnabled() && t.binAddrs[j] != "" {
+		err := rt.binCall(ctx, t.binAddrs[j], sc,
+			func(dst []byte) []byte {
+				return wire.AppendSimilarReq(dst, wire.SimilarReq{
+					U: uint32(u), Lo: uint32(lo), Hi: uint32(hi), Theta: theta,
+				})
+			},
+			func(f *wire.Frame) error {
+				if err := f.SimilarResp(&g.sresps[si]); err != nil {
+					return err
+				}
+				g.rfrags[si] = g.rfrags[si][:0]
+				for _, sn := range g.sresps[si].Ranked {
+					g.rfrags[si] = append(g.rfrags[si], shard.Ranked{Node: int(sn.Node), Score: sn.Score})
+				}
+				return nil
+			})
+		var ue *upstreamError
+		if err == nil || errors.As(err, &ue) || ctx.Err() != nil {
+			return err
+		}
+	}
+	body, err := rt.getShardOK(ctx, sc, httpURL)
+	if err != nil {
+		return err
+	}
+	return rt.decodeSimilarBody(body, si, g)
+}
+
+func (rt *Router) decodeSimilarBody(body []byte, si int, g *gather) error {
+	sc := &rt.shards[si]
+	g.rfrags[si] = g.rfrags[si][:0]
+	if wire.IsFrame(body) {
+		t0 := time.Now()
+		f := &g.frames[si]
+		if err := f.Parse(body); err != nil {
+			return err
+		}
+		if err := f.SimilarResp(&g.sresps[si]); err != nil {
+			return err
+		}
+		sc.decodeNS.Add(time.Since(t0).Nanoseconds())
+		for _, sn := range g.sresps[si].Ranked {
+			g.rfrags[si] = append(g.rfrags[si], shard.Ranked{Node: int(sn.Node), Score: sn.Score})
+		}
+		return nil
+	}
+	var resp server.TopKResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return err
+	}
+	for _, res := range resp.Results {
+		g.rfrags[si] = append(g.rfrags[si], shard.Ranked{Node: res.Node, Score: res.Score})
+	}
+	return nil
 }
 
 // ShardStatus is one shard's health as seen from the router.
@@ -567,7 +969,17 @@ type ShardStatus struct {
 	HedgesFired      int64 `json:"hedges_fired"`
 	AttemptErrsTotal int64 `json:"attempt_errors_total"`
 	FailuresTotal    int64 `json:"failures_total"`
-	Reachable        bool  `json:"reachable"`
+	// WireFormat is the transport the router prefers for this shard:
+	// "bin" (persistent TCP), "bin-http" (Accept-negotiated HTTP), or
+	// "json".
+	WireFormat string `json:"wire_format"`
+	// BytesSent / BytesReceived / EncodeNs / DecodeNs are this shard's
+	// router-side wire activity (binary frames plus HTTP payloads).
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesReceived int64 `json:"bytes_received"`
+	EncodeNs      int64 `json:"encode_ns"`
+	DecodeNs      int64 `json:"decode_ns"`
+	Reachable     bool  `json:"reachable"`
 	// Status is the shard server's own /statusz (counters + cache),
 	// absent when the server was unreachable just now.
 	Status *server.StatuszResponse `json:"status,omitempty"`
@@ -587,9 +999,10 @@ type RouterStatusz struct {
 }
 
 // handleStatusz reports the router's own counters plus a live view of
-// every shard: per-shard hedges/failures since start and a reachability
-// probe (each shard's /statusz fetched under ProbeTimeout) — the place
-// degradation shows up when a shard is slow or down.
+// every shard: per-shard hedges/failures/wire activity since start and
+// a reachability probe (each shard's /statusz fetched under
+// ProbeTimeout) — the place degradation shows up when a shard is slow
+// or down.
 func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	resp := RouterStatusz{
 		NumShards:         len(rt.cfg.Shards),
@@ -606,6 +1019,14 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		resp.Shards = make([]ShardStatus, len(t.addrs))
 		fanout(len(t.addrs), func(i int) {
 			sc := &rt.shards[i]
+			wf := WireJSON
+			if rt.binEnabled() {
+				if t.binAddrs[i] != "" {
+					wf = WireBin
+				} else {
+					wf = "bin-http"
+				}
+			}
 			ss := ShardStatus{
 				Shard:            i,
 				Addr:             t.addrs[i],
@@ -613,6 +1034,11 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 				HedgesFired:      sc.hedges.Load(),
 				AttemptErrsTotal: sc.attemptErrs.Load(),
 				FailuresTotal:    sc.failures.Load(),
+				WireFormat:       wf,
+				BytesSent:        sc.bytesSent.Load(),
+				BytesReceived:    sc.bytesRecv.Load(),
+				EncodeNs:         sc.encodeNS.Load(),
+				DecodeNs:         sc.decodeNS.Load(),
 			}
 			pctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
 			defer cancel()
@@ -643,10 +1069,23 @@ func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// mergedStatsJSON combines the replayed scan counters (byte-identical
-// to single-node) with the per-shard cache counters summed (cache state
-// is topology-dependent: each shard has its own tally cache).
-func mergedStatsJSON(st simrank.QueryStats, perShard []*server.QueryStatsJSON) *server.QueryStatsJSON {
+// statsFromJSON lowers the JSON stats shape to QueryStats.
+func statsFromJSON(st *server.QueryStatsJSON) simrank.QueryStats {
+	return simrank.QueryStats{
+		Candidates:     st.Candidates,
+		PrunedByBound:  st.PrunedByBound,
+		PrunedByRough:  st.PrunedByRough,
+		Refined:        st.Refined,
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
+		CacheEvictions: st.CacheEvictions,
+	}
+}
+
+// mergedStats combines the replayed scan counters (byte-identical to
+// single-node) with the per-shard cache counters summed (cache state is
+// topology-dependent: each shard has its own tally cache).
+func mergedStats(st simrank.QueryStats, perShard []simrank.QueryStats) *server.QueryStatsJSON {
 	out := &server.QueryStatsJSON{
 		Candidates:    st.Candidates,
 		PrunedByBound: st.PrunedByBound,
@@ -654,9 +1093,6 @@ func mergedStatsJSON(st simrank.QueryStats, perShard []*server.QueryStatsJSON) *
 		Refined:       st.Refined,
 	}
 	for _, s := range perShard {
-		if s == nil {
-			continue
-		}
 		out.CacheHits += s.CacheHits
 		out.CacheMisses += s.CacheMisses
 		out.CacheEvictions += s.CacheEvictions
@@ -664,12 +1100,36 @@ func mergedStatsJSON(st simrank.QueryStats, perShard []*server.QueryStatsJSON) *
 	return out
 }
 
-func resultsJSON(res []simrank.Result) []server.ResultJSON {
-	out := make([]server.ResultJSON, len(res))
-	for i, r := range res {
-		out[i] = server.ResultJSON{Node: r.Node, Score: r.Score}
+// mergedBatchStats is mergedStats over query qi of the batch slots.
+func mergedBatchStats(st simrank.QueryStats, perShard [][]wire.Stats, qi int) *server.QueryStatsJSON {
+	out := &server.QueryStatsJSON{
+		Candidates:    st.Candidates,
+		PrunedByBound: st.PrunedByBound,
+		PrunedByRough: st.PrunedByRough,
+		Refined:       st.Refined,
+	}
+	for i := range perShard {
+		if qi < len(perShard[i]) {
+			s := perShard[i][qi]
+			out.CacheHits += int(s.CacheHits)
+			out.CacheMisses += int(s.CacheMisses)
+			out.CacheEvictions += int(s.CacheEvictions)
+		}
 	}
 	return out
+}
+
+// appendResults converts merged results into the JSON shape, reusing
+// dst's capacity; the result is never nil so an empty list encodes as
+// [] rather than null.
+func appendResults(dst []server.ResultJSON, res []simrank.Result) []server.ResultJSON {
+	if dst == nil {
+		dst = make([]server.ResultJSON, 0, len(res))
+	}
+	for _, r := range res {
+		dst = append(dst, server.ResultJSON{Node: r.Node, Score: r.Score})
+	}
+	return dst
 }
 
 func writeJSON(w http.ResponseWriter, status int, payload any) {
@@ -682,9 +1142,10 @@ func writeBadRequest(w http.ResponseWriter, msg string) {
 	server.WriteError(w, http.StatusBadRequest, server.CodeBadRequest, msg)
 }
 
-// intParam parses an integer query parameter; def < 0 means required.
-func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
-	s := r.URL.Query().Get(name)
+// intParam parses an integer query parameter from pre-parsed values
+// (the URL is parsed once per request); def < 0 means required.
+func intParam(w http.ResponseWriter, q url.Values, name string, def int) (int, bool) {
+	s := q.Get(name)
 	if s == "" {
 		if def >= 0 {
 			return def, true

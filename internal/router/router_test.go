@@ -23,19 +23,54 @@ func buildIndex(tb testing.TB) *simrank.Index {
 	return simrank.BuildIndex(g, simrank.DefaultOptions())
 }
 
+// shardServer is one loopback shard: the HTTP server plus (optionally)
+// its binary TCP listener. Close takes down both, so a "down shard"
+// test kills every transport the router could reach it on.
+type shardServer struct {
+	*httptest.Server
+	stopBin func()
+}
+
+func (s *shardServer) Close() {
+	if s.stopBin != nil {
+		s.stopBin()
+		s.stopBin = nil
+	}
+	s.Server.Close()
+}
+
 // loopback starts shards real HTTP servers (httptest loopback) over one
-// index and a probed router in front of them. wrap, when non-nil, can
-// interpose per-shard middleware (slow shard, down shard).
-func loopback(tb testing.TB, idx *simrank.Index, shards int, cfg Config, wrap func(i int, h http.Handler) http.Handler) (*Router, []*httptest.Server) {
+// index — each with a binary TCP listener, like production — and a
+// probed router in front of them. wrap, when non-nil, can interpose
+// per-shard middleware (slow shard, down shard).
+func loopback(tb testing.TB, idx *simrank.Index, shards int, cfg Config, wrap func(i int, h http.Handler) http.Handler) (*Router, []*shardServer) {
+	return loopbackMode(tb, idx, shards, cfg, wrap, true)
+}
+
+// loopbackHTTP is loopback without binary TCP listeners: shard traffic
+// stays on HTTP, binary-negotiated via Accept unless JSON is forced.
+func loopbackHTTP(tb testing.TB, idx *simrank.Index, shards int, cfg Config) (*Router, []*shardServer) {
+	return loopbackMode(tb, idx, shards, cfg, nil, false)
+}
+
+func loopbackMode(tb testing.TB, idx *simrank.Index, shards int, cfg Config, wrap func(i int, h http.Handler) http.Handler, bin bool) (*Router, []*shardServer) {
 	tb.Helper()
-	servers := make([]*httptest.Server, shards)
+	servers := make([]*shardServer, shards)
 	addrs := make([]string, shards)
 	for i := 0; i < shards; i++ {
-		var h http.Handler = server.NewShard(idx, i, shards)
+		sh := server.NewShard(idx, i, shards)
+		var h http.Handler = sh
 		if wrap != nil {
 			h = wrap(i, h)
 		}
-		servers[i] = httptest.NewServer(h)
+		servers[i] = &shardServer{Server: httptest.NewServer(h)}
+		if bin {
+			_, stop, err := sh.StartBin("127.0.0.1:0")
+			if err != nil {
+				tb.Fatalf("start bin listener: %v", err)
+			}
+			servers[i].stopBin = stop
+		}
 		addrs[i] = servers[i].URL
 		tb.Cleanup(servers[i].Close)
 	}
@@ -355,6 +390,95 @@ func TestRouterValidation(t *testing.T) {
 	}
 }
 
+// TestRouterWireModesIdentical drives the same queries through all
+// three shard transports — persistent binary TCP, Accept-negotiated
+// binary HTTP, and forced JSON — and requires identical results and
+// scan statistics from every mode and from a stand-alone server. The
+// binary codec ships raw float64 bit patterns and JSON round-trips
+// float64 exactly, so equality here is bit-identity of the scores.
+func TestRouterWireModesIdentical(t *testing.T) {
+	idx := buildIndex(t)
+	single := server.New(idx)
+	rtBin, _ := loopback(t, idx, 3, Config{}, nil)
+	rtHTTP, _ := loopbackHTTP(t, idx, 3, Config{})
+	rtJSON, _ := loopback(t, idx, 3, Config{Wire: WireJSON}, nil)
+	modes := []struct {
+		name string
+		h    http.Handler
+	}{{"tcp-bin", rtBin}, {"http-bin", rtHTTP}, {"json", rtJSON}}
+
+	for _, path := range []string{
+		"/topk?u=42&k=20&stats=1",
+		"/topk?u=0&k=5&stats=1",
+		"/topk?u=150&k=100&stats=1",
+		"/similar?u=42&theta=0.02",
+	} {
+		_, sbody := routerGet(t, single, path)
+		var want server.TopKResponse
+		if err := json.Unmarshal(sbody, &want); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range modes {
+			rec, body := routerGet(t, m.h, path)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s %s: status %d: %s", m.name, path, rec.Code, body)
+			}
+			var got server.TopKResponse
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			label := m.name + " " + path
+			sameResults(t, label, got.Results, want.Results)
+			if want.Stats != nil {
+				sameScanStats(t, label, got.Stats, want.Stats)
+			}
+		}
+	}
+
+	batch := `{"queries":[0,7,42,59],"k":5,"stats":true}`
+	_, sbody := routerPost(t, single, "/topk/batch", batch)
+	var want server.BatchResponse
+	if err := json.Unmarshal(sbody, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range modes {
+		rec, body := routerPost(t, m.h, "/topk/batch", batch)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s batch: status %d: %s", m.name, rec.Code, body)
+		}
+		var got server.BatchResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("%s batch: %d results, want %d", m.name, len(got.Results), len(want.Results))
+		}
+		for i := range got.Results {
+			label := fmt.Sprintf("%s batch query %d", m.name, got.Results[i].Query)
+			sameResults(t, label, got.Results[i].Results, want.Results[i].Results)
+			sameScanStats(t, label, got.Results[i].Stats, want.Results[i].Stats)
+		}
+	}
+
+	// /statusz reports which transport each shard is on.
+	for _, m := range modes {
+		_, body := routerGet(t, m.h, "/statusz")
+		var st RouterStatusz
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		wantWF := map[string]string{"tcp-bin": WireBin, "http-bin": "bin-http", "json": WireJSON}[m.name]
+		for _, s := range st.Shards {
+			if s.WireFormat != wantWF {
+				t.Fatalf("%s: shard %d wire_format %q, want %q", m.name, s.Shard, s.WireFormat, wantWF)
+			}
+			if s.BytesReceived == 0 {
+				t.Fatalf("%s: shard %d reports zero bytes received", m.name, s.Shard)
+			}
+		}
+	}
+}
+
 // BenchmarkRouterTopK measures a routed /topk over a real 3-shard HTTP
 // loopback topology — scatter, shard-side scoring, gather, merge replay.
 func BenchmarkRouterTopK(b *testing.B) {
@@ -365,6 +489,25 @@ func BenchmarkRouterTopK(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkRouterTopKBatch measures a routed 4-query batch over the
+// same topology — one scatter round-trip amortized across the batch.
+func BenchmarkRouterTopKBatch(b *testing.B) {
+	idx := buildIndex(b)
+	rt, _ := loopback(b, idx, 3, Config{}, nil)
+	body := `{"queries":[0,7,42,59],"k":10}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/topk/batch", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
 		rt.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("status %d", rec.Code)

@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	simrank "repro"
@@ -58,6 +60,12 @@ type Handler struct {
 	mux      *http.ServeMux
 	manifest shard.Manifest
 	counters counters
+	// shardPool recycles shard-request working sets (fragment buffers,
+	// stats, wire message shells) across requests and connections.
+	shardPool sync.Pool
+	// binAddr holds the bound address of the binary wire listener once
+	// ServeBin is up; advertised as Manifest.BinAddr on /shardinfo.
+	binAddr atomic.Value
 	// MaxK caps the k parameter to keep responses bounded (default 1000).
 	MaxK int
 	// MaxBatch caps the number of queries one /topk/batch request may
@@ -78,6 +86,7 @@ func New(idx *simrank.Index) *Handler {
 // numShards, n); /shard/* queries score only that range.
 func NewShard(idx *simrank.Index, shardIdx, numShards int) *Handler {
 	h := &Handler{idx: idx, MaxK: 1000, MaxBatch: 1024}
+	h.shardPool.New = func() any { return new(shardScratch) }
 	gfp, pfp := idx.ServingFingerprint()
 	h.manifest = shard.Build(shardIdx, numShards, idx.Graph().NumVertices(),
 		gfp, pfp, idx.Seed(), idx.Threshold())
@@ -99,8 +108,19 @@ func NewShard(idx *simrank.Index, shardIdx, numShards int) *Handler {
 	return h
 }
 
-// Manifest returns the shard manifest this handler serves under.
-func (h *Handler) Manifest() shard.Manifest { return h.manifest }
+// Manifest returns the shard manifest this handler serves under,
+// including the binary listener address when one is serving.
+func (h *Handler) Manifest() shard.Manifest { return h.manifestView() }
+
+// manifestView is the manifest as published: the static topology facts
+// plus the live BinAddr transport hint.
+func (h *Handler) manifestView() shard.Manifest {
+	m := h.manifest
+	if a, ok := h.binAddr.Load().(string); ok {
+		m.BinAddr = a
+	}
+	return m
+}
 
 // queryCtx derives the context queries run under: the request context
 // (cancelled when the client disconnects) bounded by QueryTimeout.

@@ -25,6 +25,12 @@ type counters struct {
 	shardQueries atomic.Int64 // /shard/topk + /shard/similar queries
 	shardBatches atomic.Int64 // /shard/topk/batch requests
 	timeouts     atomic.Int64 // queries cut off by QueryTimeout
+	binConns     atomic.Int64 // binary TCP connections accepted
+	binRequests  atomic.Int64 // shard requests answered in binary (TCP or HTTP)
+	wireBytesIn  atomic.Int64 // binary frame bytes read
+	wireBytesOut atomic.Int64 // binary frame bytes written
+	encodeNS     atomic.Int64 // ns spent encoding binary responses
+	decodeNS     atomic.Int64 // ns spent parsing binary requests
 }
 
 func (c *counters) noteBatch(size int) {
@@ -59,7 +65,23 @@ type StatuszResponse struct {
 	// evictions, footprint) — the aggregate of every query's cache
 	// counters since the snapshot was built.
 	Cache *CacheStatsJSON `json:"cache"`
-	Shard shard.Manifest  `json:"shard"`
+	// Prolog is the query-prolog walk-distribution cache state (nil when
+	// the cache is disabled).
+	Prolog *CacheStatsJSON `json:"prolog,omitempty"`
+	// Wire is the binary wire-protocol activity (nil-free; all zero when
+	// every request negotiated JSON).
+	Wire  WireCountersJSON `json:"wire"`
+	Shard shard.Manifest   `json:"shard"`
+}
+
+// WireCountersJSON is the binary-protocol slice of /statusz.
+type WireCountersJSON struct {
+	BinConnsTotal    int64 `json:"bin_conns_total"`
+	BinRequestsTotal int64 `json:"bin_requests_total"`
+	BytesReceived    int64 `json:"bytes_received"`
+	BytesSent        int64 `json:"bytes_sent"`
+	EncodeNs         int64 `json:"encode_ns"`
+	DecodeNs         int64 `json:"decode_ns"`
 }
 
 func (h *Handler) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -74,13 +96,31 @@ func (h *Handler) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		ShardBatchesTotal: h.counters.shardBatches.Load(),
 		TimeoutsTotal:     h.counters.timeouts.Load(),
 		Cache:             toCacheJSON(h.idx.CacheStats()),
-		Shard:             h.manifest,
+		Prolog:            prologJSON(h.idx),
+		Wire: WireCountersJSON{
+			BinConnsTotal:    h.counters.binConns.Load(),
+			BinRequestsTotal: h.counters.binRequests.Load(),
+			BytesReceived:    h.counters.wireBytesIn.Load(),
+			BytesSent:        h.counters.wireBytesOut.Load(),
+			EncodeNs:         h.counters.encodeNS.Load(),
+			DecodeNs:         h.counters.decodeNS.Load(),
+		},
+		Shard: h.manifestView(),
 	})
+}
+
+// prologJSON reports the prolog-cache state, nil when disabled.
+func prologJSON(idx *simrank.Index) *CacheStatsJSON {
+	st := idx.PrologStats()
+	if st.BudgetBytes == 0 {
+		return nil
+	}
+	return toCacheJSON(st)
 }
 
 // handleShardInfo publishes the manifest: GET /shardinfo.
 func (h *Handler) handleShardInfo(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.manifest)
+	writeJSON(w, http.StatusOK, h.manifestView())
 }
 
 // ShardCandJSON is one fragment entry on the wire. Keys are short —
@@ -165,6 +205,10 @@ func (h *Handler) handleShardTopK(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
 	start := time.Now()
+	if wantBin(r) {
+		h.shardTopKBin(ctx, w, u, lo, hi, start)
+		return
+	}
 	frag, st, err := h.idx.TopKShardCtx(ctx, u, lo, hi)
 	if err != nil {
 		h.writeQueryError(w, err)
@@ -198,6 +242,10 @@ func (h *Handler) handleShardTopKBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if binBody(r) || wantBin(r) {
+		h.handleShardBatchBin(w, r)
 		return
 	}
 	var req ShardBatchRequest
@@ -276,6 +324,10 @@ func (h *Handler) handleShardSimilar(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := h.queryCtx(r)
 	defer cancel()
 	start := time.Now()
+	if wantBin(r) {
+		h.shardSimilarBin(ctx, w, u, theta, lo, hi, start)
+		return
+	}
 	res, st, err := h.idx.SimilarShardCtx(ctx, u, theta, lo, hi)
 	if err != nil {
 		h.writeQueryError(w, err)

@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	simrank "repro"
+	"repro/internal/wire"
+)
+
+// getBin issues a GET with binary-response negotiation.
+func getBin(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("Accept", wire.ContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func parseFrame(t *testing.T, body []byte) *wire.Frame {
+	t.Helper()
+	var f wire.Frame
+	if err := f.Parse(body); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return &f
+}
+
+// TestShardTopKBinMatchesJSON drives /shard/topk through both
+// negotiated encodings and demands bit-identical fragments and stats.
+func TestShardTopKBinMatchesJSON(t *testing.T) {
+	_, hs := shardTopology(t, 2)
+	for _, h := range hs {
+		rec, body := get(t, h, "/shard/topk?u=7")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("json status %d: %s", rec.Code, body)
+		}
+		var jr ShardTopKResponse
+		if err := json.Unmarshal(body, &jr); err != nil {
+			t.Fatal(err)
+		}
+
+		brec := getBin(t, h, "/shard/topk?u=7")
+		if brec.Code != http.StatusOK {
+			t.Fatalf("bin status %d: %s", brec.Code, brec.Body.String())
+		}
+		if ct := brec.Header().Get("Content-Type"); ct != wire.ContentType {
+			t.Fatalf("Content-Type = %q, want %q", ct, wire.ContentType)
+		}
+		var resp wire.TopKResp
+		if err := parseFrame(t, brec.Body.Bytes()).TopKResp(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if int(resp.Query) != jr.Query || int(resp.Shard) != jr.Shard {
+			t.Fatalf("identity mismatch: bin (%d, %d) vs json (%d, %d)",
+				resp.Query, resp.Shard, jr.Query, jr.Shard)
+		}
+		jfrag := FromWire(jr.Frag)
+		if len(resp.Frag) != len(jfrag) {
+			t.Fatalf("fragment length %d vs %d", len(resp.Frag), len(jfrag))
+		}
+		for i, c := range resp.Frag {
+			j := jfrag[i]
+			if c.V != j.V || c.State != j.State ||
+				math.Float64bits(c.UB) != math.Float64bits(j.UB) ||
+				math.Float64bits(c.Rough) != math.Float64bits(j.Rough) ||
+				math.Float64bits(c.Score) != math.Float64bits(j.Score) {
+				t.Fatalf("fragment row %d differs: bin %+v vs json %+v", i, c, j)
+			}
+		}
+		if got, want := StatsFromWire(resp.Stats), *jr.Stats; got != simrank.QueryStats(wireStatsForTest(want)) {
+			t.Fatalf("stats differ: bin %+v vs json %+v", got, want)
+		}
+	}
+}
+
+// wireStatsForTest lowers the JSON stats shape to QueryStats.
+func wireStatsForTest(st QueryStatsJSON) simrank.QueryStats {
+	return simrank.QueryStats{
+		Candidates:     st.Candidates,
+		PrunedByBound:  st.PrunedByBound,
+		PrunedByRough:  st.PrunedByRough,
+		Refined:        st.Refined,
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
+		CacheEvictions: st.CacheEvictions,
+	}
+}
+
+// TestShardBatchBinRoundTrip posts a binary batch request and checks
+// the binary response against the JSON batch for the same queries.
+func TestShardBatchBinRoundTrip(t *testing.T) {
+	_, hs := shardTopology(t, 2)
+	h := hs[0]
+	m := h.Manifest()
+
+	jrec, jbody := postJSON(t, h, "/shard/topk/batch", `{"queries":[3,9,3]}`)
+	if jrec.Code != http.StatusOK {
+		t.Fatalf("json status %d: %s", jrec.Code, jbody)
+	}
+	var jr ShardBatchResponse
+	if err := json.Unmarshal(jbody, &jr); err != nil {
+		t.Fatal(err)
+	}
+
+	breq := wire.BatchReq{Lo: uint32(m.Lo), Hi: uint32(m.Hi), Queries: []uint32{3, 9, 3}}
+	frame := wire.AppendBatchReq(nil, &breq)
+	req := httptest.NewRequest(http.MethodPost, "/shard/topk/batch", bytes.NewReader(frame))
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.Header.Set("Accept", wire.ContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bin status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp wire.BatchResp
+	if err := parseFrame(t, rec.Body.Bytes()).BatchResp(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Frags) != len(jr.Results) {
+		t.Fatalf("%d fragments vs %d JSON results", len(resp.Frags), len(jr.Results))
+	}
+	for i, frag := range resp.Frags {
+		jfrag := FromWire(jr.Results[i].Frag)
+		if len(frag) != len(jfrag) {
+			t.Fatalf("query %d: %d rows vs %d", i, len(frag), len(jfrag))
+		}
+		for k, c := range frag {
+			if c != jfrag[k] {
+				t.Fatalf("query %d row %d differs: %+v vs %+v", i, k, c, jfrag[k])
+			}
+		}
+		if StatsFromWire(resp.Stats[i]) != wireStatsForTest(*jr.Results[i].Stats) {
+			t.Fatalf("query %d stats differ", i)
+		}
+	}
+
+	// Binary request with JSON response (no Accept header).
+	req = httptest.NewRequest(http.MethodPost, "/shard/topk/batch", bytes.NewReader(frame))
+	req.Header.Set("Content-Type", wire.ContentType)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bin-req/json-resp status %d: %s", rec.Code, rec.Body.String())
+	}
+	var jr2 ShardBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &jr2); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr2.Results) != len(jr.Results) {
+		t.Fatalf("mixed-mode result count %d vs %d", len(jr2.Results), len(jr.Results))
+	}
+	for i := range jr2.Results {
+		if len(jr2.Results[i].Frag) != len(jr.Results[i].Frag) {
+			t.Fatalf("mixed-mode query %d fragment length differs", i)
+		}
+	}
+}
+
+// TestShardSimilarBin checks the negotiated binary threshold query.
+func TestShardSimilarBin(t *testing.T) {
+	_, hs := shardTopology(t, 2)
+	h := hs[1]
+	rec, body := get(t, h, "/shard/similar?u=5&theta=0.02")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("json status %d: %s", rec.Code, body)
+	}
+	var jr TopKResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	brec := getBin(t, h, "/shard/similar?u=5&theta=0.02")
+	if brec.Code != http.StatusOK {
+		t.Fatalf("bin status %d: %s", brec.Code, brec.Body.String())
+	}
+	var resp wire.SimilarResp
+	if err := parseFrame(t, brec.Body.Bytes()).SimilarResp(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Ranked) != len(jr.Results) {
+		t.Fatalf("%d ranked vs %d JSON results", len(resp.Ranked), len(jr.Results))
+	}
+	for i, sn := range resp.Ranked {
+		if int(sn.Node) != jr.Results[i].Node ||
+			math.Float64bits(sn.Score) != math.Float64bits(jr.Results[i].Score) {
+			t.Fatalf("row %d differs: bin (%d, %v) vs json (%d, %v)",
+				i, sn.Node, sn.Score, jr.Results[i].Node, jr.Results[i].Score)
+		}
+	}
+}
+
+// binDial starts the TCP listener on a handler and returns a connected
+// client plus the advertised address.
+func binDial(t *testing.T, h *Handler) (net.Conn, string) {
+	t.Helper()
+	addr, stop, err := h.StartBin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, addr
+}
+
+// TestBinTCPRoundTrip exercises the persistent TCP transport: several
+// requests on one connection, matching the HTTP-JSON answers, with the
+// listener address advertised on /shardinfo.
+func TestBinTCPRoundTrip(t *testing.T) {
+	_, hs := shardTopology(t, 2)
+	h := hs[0]
+	m := h.manifest
+	conn, addr := binDial(t, h)
+
+	// /shardinfo must now advertise the listener.
+	_, body := get(t, h, "/shardinfo")
+	var adv struct {
+		BinAddr string `json:"bin_addr"`
+	}
+	if err := json.Unmarshal(body, &adv); err != nil {
+		t.Fatal(err)
+	}
+	if adv.BinAddr != addr {
+		t.Fatalf("shardinfo bin_addr = %q, want %q", adv.BinAddr, addr)
+	}
+
+	br := bufio.NewReader(conn)
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	var f wire.Frame
+	for try := 0; try < 3; try++ {
+		out := wire.AppendTopKReq(nil, wire.TopKReq{U: 7, Lo: uint32(m.Lo), Hi: uint32(m.Hi)})
+		if _, err := conn.Write(out); err != nil {
+			t.Fatal(err)
+		}
+		data, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Parse(data); err != nil {
+			t.Fatal(err)
+		}
+		var resp wire.TopKResp
+		if err := f.TopKResp(&resp); err != nil {
+			t.Fatal(err)
+		}
+		_, jbody := get(t, h, "/shard/topk?u=7")
+		var jr ShardTopKResponse
+		if err := json.Unmarshal(jbody, &jr); err != nil {
+			t.Fatal(err)
+		}
+		jfrag := FromWire(jr.Frag)
+		if len(resp.Frag) != len(jfrag) {
+			t.Fatalf("try %d: %d rows vs %d", try, len(resp.Frag), len(jfrag))
+		}
+		for i := range resp.Frag {
+			if resp.Frag[i] != jfrag[i] {
+				t.Fatalf("try %d row %d differs", try, i)
+			}
+		}
+	}
+
+	// A batch over the same connection.
+	out := wire.AppendBatchReq(nil, &wire.BatchReq{Lo: uint32(m.Lo), Hi: uint32(m.Hi), Queries: []uint32{1, 2}})
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := wire.ReadFrame(br, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Parse(data); err != nil {
+		t.Fatal(err)
+	}
+	var bresp wire.BatchResp
+	if err := f.BatchResp(&bresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(bresp.Frags) != 2 || bresp.Queries[0] != 1 || bresp.Queries[1] != 2 {
+		t.Fatalf("batch response shape: %d frags, queries %v", len(bresp.Frags), bresp.Queries)
+	}
+}
+
+// TestBinTCPQueryErrorKeepsConn sends an out-of-range vertex, expects a
+// MsgError frame, and then a valid query on the SAME connection.
+func TestBinTCPQueryErrorKeepsConn(t *testing.T) {
+	_, hs := shardTopology(t, 2)
+	h := hs[0]
+	m := h.manifest
+	conn, _ := binDial(t, h)
+	br := bufio.NewReader(conn)
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	var f wire.Frame
+
+	out := wire.AppendTopKReq(nil, wire.TopKReq{U: 1 << 20, Lo: uint32(m.Lo), Hi: uint32(m.Hi)})
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := wire.ReadFrame(br, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Parse(data); err != nil {
+		t.Fatal(err)
+	}
+	var werr *wire.Error
+	if !errors.As(f.Err(), &werr) {
+		t.Fatalf("expected error frame, got type %d", f.Type)
+	}
+	if werr.Status != http.StatusBadRequest || werr.Code != CodeBadRequest {
+		t.Fatalf("error frame = %+v, want 400 %s", werr, CodeBadRequest)
+	}
+
+	// The connection must still serve.
+	out = wire.AppendTopKReq(nil, wire.TopKReq{U: 3, Lo: uint32(m.Lo), Hi: uint32(m.Hi)})
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = wire.ReadFrame(br, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Parse(data); err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.MsgTopKResp {
+		t.Fatalf("after error frame, got type %d, want MsgTopKResp", f.Type)
+	}
+}
+
+// TestBinTCPGarbageClosesConn writes bytes that are not a frame and
+// expects the server to drop the connection.
+func TestBinTCPGarbageClosesConn(t *testing.T) {
+	_, hs := shardTopology(t, 2)
+	conn, _ := binDial(t, hs[0])
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Drain whatever the server sends; the read must terminate with EOF
+	// rather than hang, proving the connection was closed.
+	tmp := make([]byte, 4096)
+	for {
+		if _, err := conn.Read(tmp); err != nil {
+			return
+		}
+	}
+}
+
+// TestStatuszWireCounters checks that binary traffic shows up in the
+// wire slice of /statusz.
+func TestStatuszWireCounters(t *testing.T) {
+	_, hs := shardTopology(t, 2)
+	h := hs[0]
+	getBin(t, h, "/shard/topk?u=7")
+	_, body := get(t, h, "/statusz")
+	var st StatuszResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Wire.BinRequestsTotal == 0 || st.Wire.BytesSent == 0 || st.Wire.EncodeNs == 0 {
+		t.Fatalf("wire counters not populated: %+v", st.Wire)
+	}
+}

@@ -56,6 +56,13 @@ type Manifest struct {
 	// fragments are scored at, which the router must feed back into the
 	// merge replay.
 	Theta float64 `json:"theta"`
+	// BinAddr, when non-empty, is the host:port of the shard's binary
+	// wire listener (internal/wire over persistent TCP) — an optional
+	// transport hint, deliberately excluded from topology validation: a
+	// router falls back to HTTP when it is absent or unreachable. An
+	// unspecified host (":9090", "0.0.0.0:9090") means "same host as
+	// the HTTP endpoint".
+	BinAddr string `json:"bin_addr,omitempty"`
 }
 
 // Build returns the manifest for shard i of total over an index with

@@ -1,0 +1,42 @@
+package wire
+
+import "sync"
+
+// maxPooledBuf caps what goes back into the pool: a single huge batch
+// response must not pin its buffer for the rest of the process.
+const maxPooledBuf = 1 << 20
+
+// Buf is a pooled byte buffer for frame encode/decode. Acquire with
+// GetBuf, release with PutBuf on every return path.
+type Buf struct {
+	B []byte
+}
+
+// grow resizes the buffer to exactly n bytes, preserving existing
+// content when the backing array must be reallocated.
+func (b *Buf) grow(n int) []byte {
+	if cap(b.B) < n {
+		nb := make([]byte, n)
+		copy(nb, b.B)
+		b.B = nb
+	}
+	b.B = b.B[:n]
+	return b.B
+}
+
+var bufPool = sync.Pool{New: func() any { return new(Buf) }}
+
+// GetBuf takes a buffer from the pool. Pair with PutBuf.
+func GetBuf() *Buf {
+	return bufPool.Get().(*Buf)
+}
+
+// PutBuf returns b to the pool, dropping oversized backing arrays.
+func PutBuf(b *Buf) {
+	if cap(b.B) > maxPooledBuf {
+		b.B = nil
+	} else {
+		b.B = b.B[:0]
+	}
+	bufPool.Put(b)
+}

@@ -29,6 +29,13 @@ go test -shuffle=on ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The wire codec and the router's pooled transport are the two places
+# where a data race would silently corrupt answers (shared decode
+# buffers, connection reuse); run them under the race detector
+# explicitly and unshuffled so a failure here names the culprit.
+echo "==> go test -race ./internal/router/... ./internal/wire/..."
+go test -race -count=1 ./internal/router/... ./internal/wire/...
+
 # Analyzer wall-clock budget (benchguard-shaped, but for the linter
 # itself): the interprocedural layer must stay cheap enough to run on
 # every merge. 6s is ~2x the committed ~2.5s runtime of the full
@@ -45,8 +52,10 @@ go test -run - -bench . -benchtime 1x ./...
 # Multi-shard smoke: two simserver shards behind simrouter on loopback
 # must answer a query corpus byte-identically — results, ordering, and
 # scan statistics — to a stand-alone simserver over the same graph and
-# seed. This is the end-to-end check of the deterministic scatter-gather
-# merge across real processes and real HTTP.
+# seed. Run twice: once over the binary wire protocol (shards advertise
+# TCP bin listeners, the router's default) and once with the router
+# forced to JSON, so both encodings of the scatter-gather are proven
+# identical end-to-end across real processes.
 echo "==> multi-shard smoke (2 shards + router vs single node)"
 smoketmp="$(mktemp -d)"
 smoke_cleanup() {
@@ -61,16 +70,26 @@ go build -o "$smoketmp/topkdiff" ./cmd/topkdiff
 "$smoketmp/gengraph" -kind copying -n 2000 -k 5 -p 0.3 -seed 21 -o "$smoketmp/graph.txt"
 "$smoketmp/simserver" -graph "$smoketmp/graph.txt" -addr 127.0.0.1:19481 >"$smoketmp/single.log" 2>&1 &
 echo $! > "$smoketmp/single.pid"
-"$smoketmp/simserver" -graph "$smoketmp/graph.txt" -shard 0/2 -addr 127.0.0.1:19482 >"$smoketmp/shard0.log" 2>&1 &
+"$smoketmp/simserver" -graph "$smoketmp/graph.txt" -shard 0/2 -addr 127.0.0.1:19482 \
+	-bin-addr 127.0.0.1:19485 >"$smoketmp/shard0.log" 2>&1 &
 echo $! > "$smoketmp/shard0.pid"
-"$smoketmp/simserver" -graph "$smoketmp/graph.txt" -shard 1/2 -addr 127.0.0.1:19483 >"$smoketmp/shard1.log" 2>&1 &
+"$smoketmp/simserver" -graph "$smoketmp/graph.txt" -shard 1/2 -addr 127.0.0.1:19483 \
+	-bin-addr 127.0.0.1:19486 >"$smoketmp/shard1.log" 2>&1 &
 echo $! > "$smoketmp/shard1.pid"
 "$smoketmp/simrouter" -shards http://127.0.0.1:19482,http://127.0.0.1:19483 \
 	-addr 127.0.0.1:19484 >"$smoketmp/router.log" 2>&1 &
 echo $! > "$smoketmp/router.pid"
+"$smoketmp/simrouter" -shards http://127.0.0.1:19482,http://127.0.0.1:19483 \
+	-wire json -addr 127.0.0.1:19487 >"$smoketmp/router-json.log" 2>&1 &
+echo $! > "$smoketmp/router-json.pid"
 if ! "$smoketmp/topkdiff" -a http://127.0.0.1:19484 -b http://127.0.0.1:19481 -count 50 -k 20 -wait 60s; then
-	echo "multi-shard smoke failed; router log:"
+	echo "multi-shard smoke (binary wire) failed; router log:"
 	cat "$smoketmp/router.log"
+	exit 1
+fi
+if ! "$smoketmp/topkdiff" -a http://127.0.0.1:19487 -b http://127.0.0.1:19481 -count 50 -k 20 -wait 60s; then
+	echo "multi-shard smoke (forced JSON) failed; router log:"
+	cat "$smoketmp/router-json.log"
 	exit 1
 fi
 smoke_cleanup
@@ -88,6 +107,18 @@ if [ "$cpus" -lt 4 ]; then
 else
 	go test -run - -bench 'WalkStep$' -benchtime 100x ./internal/core | \
 		go run ./cmd/benchguard -baseline BENCH_core.json -name BenchmarkWalkStep -max-ratio 2
+fi
+
+# Serving-path perf guard: a routed /topk over the loopback topology must
+# stay within 2x of the committed snapshot, so regressing the binary wire
+# fast path (or reintroducing per-query allocation in the scatter-gather)
+# fails the gate. Same small-machine skip as above.
+echo "==> router perf guard"
+if [ "$cpus" -lt 4 ]; then
+	echo "skipped: $cpus CPU(s) < 4, too noisy to gate on"
+else
+	go test -run - -bench 'RouterTopK$' -benchtime 50x ./internal/router | \
+		go run ./cmd/benchguard -baseline BENCH_core.json -name BenchmarkRouterTopK -max-ratio 2
 fi
 
 echo "==> gate clean"

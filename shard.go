@@ -57,6 +57,49 @@ func (ix *Index) TopKShardCtx(ctx context.Context, u, lo, hi int) ([]ShardCand, 
 	return f, toQueryStats(st), nil
 }
 
+// TopKShardAppendCtx is TopKShardCtx writing the fragment into dst
+// (reusing its capacity, like append), for servers that recycle
+// fragment buffers across requests.
+func (ix *Index) TopKShardAppendCtx(ctx context.Context, u, lo, hi int, dst []ShardCand) ([]ShardCand, QueryStats, error) {
+	if err := ix.g.checkVertex(u); err != nil {
+		return dst, QueryStats{}, err
+	}
+	if err := ix.checkRange(lo, hi); err != nil {
+		return dst, QueryStats{}, err
+	}
+	f, st, err := ix.e.TopKShardAppendCtx(ctx, uint32(u), uint32(lo), uint32(hi), dst)
+	if err != nil {
+		return dst, QueryStats{}, err
+	}
+	return f, toQueryStats(st), nil
+}
+
+// TopKShardBatchAppendCtx answers many shard-restricted queries into
+// caller-supplied parallel slices: len(frags) and len(sts) must equal
+// len(us), and each frags[i]'s capacity is reused.
+func (ix *Index) TopKShardBatchAppendCtx(ctx context.Context, us []uint32, lo, hi int, frags [][]ShardCand, sts []QueryStats) error {
+	if err := ix.checkRange(lo, hi); err != nil {
+		return err
+	}
+	if len(frags) != len(us) || len(sts) != len(us) {
+		return fmt.Errorf("simrank: batch append wants %d fragment and stats slots, got %d and %d",
+			len(us), len(frags), len(sts))
+	}
+	for _, u := range us {
+		if err := ix.g.checkVertex(int(u)); err != nil {
+			return err
+		}
+	}
+	coreSts := make([]core.QueryStats, len(us))
+	if err := ix.e.TopKShardBatchAppendCtx(ctx, us, uint32(lo), uint32(hi), frags, coreSts); err != nil {
+		return err
+	}
+	for i, st := range coreSts {
+		sts[i] = toQueryStats(st)
+	}
+	return nil
+}
+
 // TopKShardBatchCtx answers many shard-restricted queries, parallelized
 // across queries like TopKBatchCtx.
 func (ix *Index) TopKShardBatchCtx(ctx context.Context, us []int, lo, hi int) ([][]ShardCand, []QueryStats, error) {
@@ -107,6 +150,19 @@ func (ix *Index) SimilarShardCtx(ctx context.Context, u int, threshold float64, 
 // came from (see Manifest.Theta in internal/shard).
 func MergeShardTopK(k int, theta float64, frags [][]ShardCand) ([]Result, QueryStats) {
 	res, st := core.MergeShardTopK(k, theta, frags)
+	return toResults(res), toQueryStats(st)
+}
+
+// MergeScratch holds the reusable working memory of a fragment merge;
+// see MergeShardTopKScratch. The zero value is ready to use.
+type MergeScratch = core.MergeScratch
+
+// MergeShardTopKScratch is MergeShardTopK drawing its merge buffers
+// from ms, so a router can merge every query through one scratch
+// without re-allocating the candidate stream (nil ms behaves like a
+// fresh scratch).
+func MergeShardTopKScratch(k int, theta float64, frags [][]ShardCand, ms *MergeScratch) ([]Result, QueryStats) {
+	res, st := core.MergeShardTopKScratch(k, theta, frags, ms)
 	return toResults(res), toQueryStats(st)
 }
 

@@ -46,6 +46,13 @@ type Options struct {
 	// it. 0 disables the cache. Results are byte-identical with the
 	// cache on or off; only throughput changes.
 	CacheBytes int64
+	// PrologCacheBytes bounds the per-index cache of query-side walk
+	// distributions: the sampled prolog of a query is a pure function of
+	// (index, query vertex), so repeat queries — and every shard of a
+	// distributed deployment answering the same query — skip the
+	// dominant per-query sampling cost. 0 means the default (32 MiB);
+	// negative disables it. Results are byte-identical either way.
+	PrologCacheBytes int64
 	// Seed makes all Monte-Carlo components deterministic. Default 1.
 	Seed uint64
 	// Workers bounds parallelism: the preprocess and all-pairs modes
@@ -62,17 +69,18 @@ func DefaultOptions() Options { return Options{} }
 // toParams maps Options onto the internal parameter set.
 func (o Options) toParams() core.Params {
 	p := core.Params{
-		C:          o.DecayFactor,
-		T:          o.Steps,
-		RScore:     o.Samples,
-		RRough:     o.RoughSamples,
-		RAlpha:     o.BoundSamples,
-		P:          o.IndexTrials,
-		Q:          o.IndexWalks,
-		Theta:      o.Threshold,
-		CacheBytes: o.CacheBytes,
-		Seed:       o.Seed,
-		Workers:    o.Workers,
+		C:           o.DecayFactor,
+		T:           o.Steps,
+		RScore:      o.Samples,
+		RRough:      o.RoughSamples,
+		RAlpha:      o.BoundSamples,
+		P:           o.IndexTrials,
+		Q:           o.IndexWalks,
+		Theta:       o.Threshold,
+		CacheBytes:  o.CacheBytes,
+		PrologBytes: o.PrologCacheBytes,
+		Seed:        o.Seed,
+		Workers:     o.Workers,
 	}
 	if o.Seed == 0 {
 		p.Seed = 1
@@ -192,6 +200,10 @@ func toCacheStats(st core.CacheStats) CacheStats {
 
 // CacheStats reports the index's tally-cache counters.
 func (ix *Index) CacheStats() CacheStats { return toCacheStats(ix.e.CacheStats()) }
+
+// PrologStats reports the query-prolog-cache counters (same shape as
+// CacheStats); all zero when Options.PrologCacheBytes is negative.
+func (ix *Index) PrologStats() CacheStats { return toCacheStats(ix.e.PrologStats()) }
 
 // TopKWithStats is TopK plus pruning statistics, for tuning and
 // observability.
