@@ -5,7 +5,7 @@
 //
 //	simlint [-json] [-rules norand,seedmix,...] [-list] [-v] [-par N]
 //	        [-baseline file [-write-baseline]] [-update-baseline]
-//	        [-nosuppress] [-time-budget d] [packages]
+//	        [-nosuppress] [-audit] [-time-budget d] [packages]
 //
 // Packages are directories or "dir/..." patterns; the default is "./...".
 // The tool is its own driver (the stdlib has no vet -vettool plumbing),
@@ -25,9 +25,14 @@
 // are listed as stale under -v so the debt file shrinks over time.
 //
 // -nosuppress disables //lint:ignore and //lint:file-ignore processing,
-// surfacing every raw diagnostic — the audit mode for finding stale
-// suppressions (a directive whose diagnostic no longer appears even with
-// -nosuppress suppresses nothing and should be deleted).
+// surfacing every raw diagnostic — the manual audit mode for eyeballing
+// the suppression inventory (a directive whose diagnostic no longer
+// appears even with -nosuppress suppresses nothing and should be deleted).
+//
+// -audit automates that check: analyzers run with suppression disabled
+// and the reported diagnostics are the stale directives themselves (plus
+// malformed ones), so CI can fail on suppression rot directly. Audit mode
+// is incompatible with -baseline: directive hygiene has no debt file.
 //
 // -time-budget D fails the run (exit 1) if loading plus analysis exceeds
 // the duration D; CI uses it to keep the lint pass from silently growing.
@@ -46,6 +51,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -58,21 +64,28 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-	list := flag.Bool("list", false, "list available rules and exit")
-	verbose := flag.Bool("v", false, "report loader warnings, per-analyzer wall time, and stale baseline entries")
-	par := flag.Int("par", runtime.NumCPU(), "max packages analyzed concurrently")
-	baselinePath := flag.String("baseline", "", "baseline JSON file: report only diagnostics not recorded in it (exit 1 = new findings)")
-	writeBaseline := flag.Bool("write-baseline", false, "write current diagnostics to the -baseline file and exit 0")
-	updateBaseline := flag.Bool("update-baseline", false, "rewrite the baseline deterministically (implies -write-baseline; -baseline defaults to lint.baseline.json)")
-	noSuppress := flag.Bool("nosuppress", false, "ignore //lint:ignore and //lint:file-ignore directives (audit mode for stale suppressions)")
-	timeBudget := flag.Duration("time-budget", 0, "fail if loading+analysis exceeds this duration (0 = no budget)")
-	flag.Parse()
+// run is main with its environment injected (arguments and both output
+// streams), so tests can drive the driver in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	verbose := fs.Bool("v", false, "report loader warnings, per-analyzer wall time, and stale baseline entries")
+	par := fs.Int("par", runtime.NumCPU(), "max packages analyzed concurrently")
+	baselinePath := fs.String("baseline", "", "baseline JSON file: report only diagnostics not recorded in it (exit 1 = new findings)")
+	writeBaseline := fs.Bool("write-baseline", false, "write current diagnostics to the -baseline file and exit 0")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the baseline deterministically (implies -write-baseline; -baseline defaults to lint.baseline.json)")
+	noSuppress := fs.Bool("nosuppress", false, "ignore //lint:ignore and //lint:file-ignore directives (audit mode for stale suppressions)")
+	audit := fs.Bool("audit", false, "report stale suppression directives instead of findings (exit 1 = suppression rot)")
+	timeBudget := fs.Duration("time-budget", 0, "fail if loading+analysis exceeds this duration (0 = no budget)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	start := time.Now()
 	if *updateBaseline {
@@ -85,7 +98,7 @@ func run() int {
 	analyzers := analysis.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -93,30 +106,34 @@ func run() int {
 		var bad string
 		analyzers, bad = analysis.ByName(*rules)
 		if bad != "" {
-			fmt.Fprintf(os.Stderr, "simlint: unknown rule %q (try -list)\n", bad)
+			fmt.Fprintf(stderr, "simlint: unknown rule %q (try -list)\n", bad)
 			return 2
 		}
 	}
 	if *writeBaseline && *baselinePath == "" {
-		fmt.Fprintln(os.Stderr, "simlint: -write-baseline requires -baseline FILE")
+		fmt.Fprintln(stderr, "simlint: -write-baseline requires -baseline FILE")
+		return 2
+	}
+	if *audit && (*baselinePath != "" || *writeBaseline) {
+		fmt.Fprintln(stderr, "simlint: -audit is incompatible with -baseline/-write-baseline")
 		return 2
 	}
 	if *par < 1 {
 		*par = 1
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	timing := newTimingSink(*verbose)
+	timing := newTimingSink(*verbose, stderr)
 	var diags []analysis.Diagnostic
 	modRoot := ""
 	for _, pat := range patterns {
-		ds, root, err := lintPattern(pat, analyzers, *par, *verbose, *noSuppress, timing)
+		ds, root, err := lintPattern(pat, analyzers, *par, *verbose, *noSuppress, *audit, timing, stderr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			fmt.Fprintf(stderr, "simlint: %v\n", err)
 			return 2
 		}
 		if modRoot == "" {
@@ -127,7 +144,7 @@ func run() int {
 	timing.report()
 	elapsed := time.Since(start)
 	if *timeBudget > 0 && elapsed > *timeBudget {
-		fmt.Fprintf(os.Stderr, "simlint: analysis took %v, over the %v budget\n",
+		fmt.Fprintf(stderr, "simlint: analysis took %v, over the %v budget\n",
 			elapsed.Round(time.Millisecond), *timeBudget)
 		return 1
 	}
@@ -135,40 +152,40 @@ func run() int {
 	if *writeBaseline {
 		b := analysis.NewBaseline(diags, modRoot)
 		if err := b.WriteFile(*baselinePath); err != nil {
-			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			fmt.Fprintf(stderr, "simlint: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "simlint: wrote %d baseline entries to %s\n", len(b.Entries), *baselinePath)
+		fmt.Fprintf(stderr, "simlint: wrote %d baseline entries to %s\n", len(b.Entries), *baselinePath)
 		return 0
 	}
 	if *baselinePath != "" {
 		b, err := analysis.ReadBaseline(*baselinePath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "simlint: %v (run with -write-baseline to create it)\n", err)
+			fmt.Fprintf(stderr, "simlint: %v (run with -write-baseline to create it)\n", err)
 			return 2
 		}
 		var stale []analysis.BaselineEntry
 		diags, stale = b.Filter(diags, modRoot)
 		if *verbose {
 			for _, e := range stale {
-				fmt.Fprintf(os.Stderr, "simlint: stale baseline entry: %s: %s (%s)\n", e.File, e.Message, e.Rule)
+				fmt.Fprintf(stderr, "simlint: stale baseline entry: %s: %s (%s)\n", e.File, e.Message, e.Rule)
 			}
 		}
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			fmt.Fprintf(stderr, "simlint: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
@@ -182,7 +199,7 @@ func run() int {
 // everything the loader saw, and analyzes packages in parallel. Results
 // are collected by package index, so output order matches load order no
 // matter how the goroutines are scheduled.
-func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose, noSuppress bool, timing *timingSink) ([]analysis.Diagnostic, string, error) {
+func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose, noSuppress, audit bool, timing *timingSink, stderr io.Writer) ([]analysis.Diagnostic, string, error) {
 	root := strings.TrimSuffix(pat, "...")
 	recursive := root != pat
 	root = filepath.Clean(strings.TrimSuffix(root, "/"))
@@ -209,7 +226,7 @@ func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose, n
 	if verbose {
 		for _, pkg := range pkgs {
 			for _, te := range pkg.TypeErrors {
-				fmt.Fprintf(os.Stderr, "simlint: warning: %s: %v\n", pkg.ImportPath, te)
+				fmt.Fprintf(stderr, "simlint: warning: %s: %v\n", pkg.ImportPath, te)
 			}
 		}
 	}
@@ -234,6 +251,7 @@ func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose, n
 				Now:        timing.now(),
 				Observe:    timing.observe(),
 				NoSuppress: noSuppress,
+				Audit:      audit,
 			})
 		}(i, pkg)
 	}
@@ -248,7 +266,7 @@ func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose, n
 	}
 	if verbose {
 		for _, stub := range loader.Stubs() {
-			fmt.Fprintf(os.Stderr, "simlint: warning: import %q stubbed (not resolvable)\n", stub)
+			fmt.Fprintf(stderr, "simlint: warning: import %q stubbed (not resolvable)\n", stub)
 		}
 	}
 	return diags, loader.ModuleRoot, nil
@@ -261,11 +279,12 @@ func lintPattern(pat string, analyzers []*analysis.Analyzer, par int, verbose, n
 type timingSink struct {
 	mu      sync.Mutex
 	enabled bool
+	out     io.Writer
 	total   map[string]time.Duration
 }
 
-func newTimingSink(enabled bool) *timingSink {
-	return &timingSink{enabled: enabled, total: map[string]time.Duration{}}
+func newTimingSink(enabled bool, out io.Writer) *timingSink {
+	return &timingSink{enabled: enabled, out: out, total: map[string]time.Duration{}}
 }
 
 func (t *timingSink) now() func() time.Time {
@@ -298,6 +317,6 @@ func (t *timingSink) report() {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(os.Stderr, "simlint: timing: %-12s %v\n", name, t.total[name].Round(time.Microsecond))
+		fmt.Fprintf(t.out, "simlint: timing: %-12s %v\n", name, t.total[name].Round(time.Microsecond))
 	}
 }

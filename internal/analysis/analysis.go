@@ -101,6 +101,14 @@ type RunOptions struct {
 	// processing, surfacing every raw diagnostic. cmd/simlint uses it to
 	// audit the suppression inventory for stale directives.
 	NoSuppress bool
+	// Audit inverts the output: analyzers run with suppression disabled
+	// and the returned diagnostics describe suppression rot — directives
+	// whose rule suppresses no raw finding — plus malformed directives,
+	// all under the pseudo-rule "lint". Analyzer findings themselves are
+	// not returned; CI runs audit as a separate pass so a stale
+	// //lint:ignore fails the build even while the code it once excused
+	// stays clean.
+	Audit bool
 }
 
 // Run applies the given analyzers to the package, filters suppressed
@@ -134,9 +142,28 @@ func RunPackage(pkg *Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnos
 	}
 	idx := buildIgnoreIndex(pkg)
 	diags = append(diags, idx.malformed...)
+	for i := range diags {
+		d := &diags[i]
+		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+	}
+	if opts.Audit {
+		audit := idx.stale(diags)
+		for i := range audit {
+			a := &audit[i]
+			a.File, a.Line, a.Col = a.Pos.Filename, a.Pos.Line, a.Pos.Column
+		}
+		// Malformed directives (already positioned, pseudo-rule "lint")
+		// fail the audit too.
+		for _, d := range diags {
+			if d.Rule == "lint" {
+				audit = append(audit, d)
+			}
+		}
+		sortDiagnostics(audit)
+		return audit, nil
+	}
 	kept := diags[:0]
 	for _, d := range diags {
-		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
 		if !opts.NoSuppress && idx.suppressed(d) {
 			continue
 		}

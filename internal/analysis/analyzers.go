@@ -20,6 +20,8 @@ func Analyzers() []*Analyzer {
 		SealWrite,
 		UnsafeConfine,
 		HotAlloc,
+		WireTaint,
+		PoolEscape,
 	}
 }
 

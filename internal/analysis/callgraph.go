@@ -57,12 +57,18 @@ type FuncInfo struct {
 	Pkg  *Package
 	// Hot marks a //lint:hotpath root.
 	Hot bool
+	// Sanitized marks a //lint:sanitized helper: callers may trust its
+	// arguments and results as bounds-checked (taint.go).
+	Sanitized bool
 	// Callees are the statically resolved calls made by this body
 	// (excluding nested function literals), in source order. Calls to
 	// functions outside the module (no body loaded) have Info == nil.
 	Callees []CallEdge
 	// Summary holds the computed effect summary (summary.go).
 	Summary Summary
+
+	// taint is the precomputed local taint graph (taint.go).
+	taint *taintLocal
 }
 
 // Name renders the function for diagnostics: "stepChunk" for package
@@ -113,7 +119,7 @@ func BuildModule(pkgs []*Package) *Module {
 				if !ok {
 					continue
 				}
-				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg, Hot: hotpathMarked(fd)}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg, Hot: hotpathMarked(fd), Sanitized: sanitizedMarked(fd)}
 				mod.Funcs = append(mod.Funcs, fi)
 				mod.byObj[obj] = fi
 			}
@@ -125,8 +131,10 @@ func BuildModule(pkgs []*Package) *Module {
 	for _, fi := range mod.Funcs {
 		collectCalls(fi, mod)
 		summarizeDirect(fi, mod)
+		taintDirect(fi, mod)
 	}
 	propagateSummaries(mod)
+	propagateTaint(mod)
 	return mod
 }
 

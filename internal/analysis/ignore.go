@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+	"go/token"
 	"strings"
 )
 
@@ -72,6 +74,13 @@ func cutDirectivePrefix(text, prefix string, rest *string) bool {
 	return true
 }
 
+// placedDirective is one well-formed directive with its source position,
+// kept for the stale-suppression audit.
+type placedDirective struct {
+	ignoreDirective
+	pos token.Position
+}
+
 // ignoreIndex holds every well-formed directive of one package, plus
 // diagnostics for the malformed ones.
 type ignoreIndex struct {
@@ -80,8 +89,9 @@ type ignoreIndex struct {
 	// directly below it (the usual "comment above the statement" form).
 	line map[string]map[int][]string
 	// file maps file -> rules suppressed for the whole file.
-	file      map[string][]string
-	malformed []Diagnostic
+	file       map[string][]string
+	directives []placedDirective
+	malformed  []Diagnostic
 }
 
 func buildIgnoreIndex(pkg *Package) *ignoreIndex {
@@ -105,6 +115,7 @@ func buildIgnoreIndex(pkg *Package) *ignoreIndex {
 					})
 					continue
 				}
+				idx.directives = append(idx.directives, placedDirective{d, pos})
 				if d.FileWide {
 					idx.file[pos.Filename] = append(idx.file[pos.Filename], d.Rules...)
 					continue
@@ -119,6 +130,50 @@ func buildIgnoreIndex(pkg *Package) *ignoreIndex {
 		}
 	}
 	return idx
+}
+
+// covers reports whether the directive would suppress d under one of its
+// rules: same rule in the same file, and — unless file-wide — d on the
+// directive's own line or the line directly below it.
+func (pd placedDirective) covers(rule string, d Diagnostic) bool {
+	if d.Rule != rule || d.File != pd.pos.Filename {
+		return false
+	}
+	return pd.FileWide || d.Line == pd.pos.Line || d.Line == pd.pos.Line+1
+}
+
+// stale returns one diagnostic per directive rule that suppresses none of
+// the raw (unsuppressed) findings, positioned at the directive. A
+// suppression whose finding has been fixed is rot: it documents a
+// violation that no longer exists and hides the next real one added on
+// that line. Reported under the pseudo-rule "lint", same as malformed
+// directives.
+func (idx *ignoreIndex) stale(raw []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, pd := range idx.directives {
+		for _, rule := range pd.Rules {
+			live := false
+			for _, d := range raw {
+				if pd.covers(rule, d) {
+					live = true
+					break
+				}
+			}
+			if live {
+				continue
+			}
+			form, where := ignorePrefix, "on this or the next line"
+			if pd.FileWide {
+				form, where = fileIgnorePrefix, "in this file"
+			}
+			out = append(out, Diagnostic{
+				Rule:    "lint",
+				Pos:     pd.pos,
+				Message: fmt.Sprintf("stale %s: no raw %s finding %s; delete the directive", form, rule, where),
+			})
+		}
+	}
+	return out
 }
 
 // suppressed reports whether d is covered by a directive: same rule on

@@ -34,6 +34,45 @@ func TestMalformedDirective(t *testing.T) {
 	}
 }
 
+// TestAuditStaleDirectives checks audit mode: a directive whose finding
+// still fires is quiet, while a line directive with nothing to suppress
+// and a file-wide directive for a rule that never fires are both reported
+// as stale, at the directive's own position.
+func TestAuditStaleDirectives(t *testing.T) {
+	pkg := loadFixture(t, "staleignore")
+	diags, err := RunPackage(pkg, []*Analyzer{NoRand, SeedMix}, RunOptions{Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d audit diagnostics, want 2 stale directives: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "lint" || !strings.Contains(d.Message, "stale") {
+			t.Fatalf("unexpected audit diagnostic: %v", d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "seedmix") || !strings.Contains(diags[0].Message, "file-ignore") {
+		t.Errorf("first diagnostic should be the stale file-wide seedmix directive: %v", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "norand") || !strings.Contains(diags[1].Message, "next line") {
+		t.Errorf("second diagnostic should be the stale line norand directive: %v", diags[1])
+	}
+}
+
+// TestAuditQuietWhenLive checks that audit mode returns nothing for a file
+// whose only directive still suppresses a live finding.
+func TestAuditQuietWhenLive(t *testing.T) {
+	pkg := loadFixture(t, "fileignore")
+	diags, err := RunPackage(pkg, []*Analyzer{NoRand}, RunOptions{Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("live suppression reported as stale: %v", diags)
+	}
+}
+
 // TestIgnoreIndexPlacement pins the directive placement contract: same
 // line and line-above suppress, two lines above does not.
 func TestIgnoreIndexPlacement(t *testing.T) {

@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape extends poolbalance from "released on every path" to
+// "never used or retained after release". A pooled object (an engine
+// scratch, a wire.Buf, a shard request scratch, a router gather) that
+// is touched after Put may be concurrently re-checked-out by another
+// goroutine — the resulting aliasing corrupts whichever query got it
+// next, which no byte-identity test catches because it only manifests
+// under pool churn.
+//
+// Per acquired object the check runs a may-flow over the CFG with a
+// two-bit lifetime state {may-live, may-released}: a release on any
+// path followed by a mention of the object (or a direct alias) is a
+// use-after-Put, and a release while already may-released is a double
+// Put. Releases through helpers are recognized via the ReleasesParams
+// summaries, so 2-deep recycle chains count.
+//
+// Retention is checked structurally for functions that do release the
+// object (a function that never releases transfers ownership, which is
+// poolbalance's business): an alias escaping via a struct/field store,
+// a channel send, an append into caller-visible storage, a goroutine
+// capture (a go statement or a closure handed to a goroutine-spawning
+// helper), or a reference-typed return while a deferred release
+// repools the object.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc: "a pooled object must not be used or retained after its Put: no " +
+		"use-after-release on any path, no double Put, no escaping aliases",
+	Run: runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) error {
+	if !poolPackage(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		eachFunc(f, func(name string, body *ast.BlockStmt) {
+			checkPoolEscape(pass, body)
+		})
+	}
+	return nil
+}
+
+// escState is the two-bit may-lifetime of one pooled object.
+type escState uint8
+
+const (
+	escLive     escState = 1 << iota // checked out on some path
+	escReleased                      // released on some path
+)
+
+func joinEsc(a, b escState) escState { return a | b }
+
+func checkPoolEscape(pass *Pass, body *ast.BlockStmt) {
+	c := &poolCtx{info: pass.Pkg.Info, mod: pass.Mod}
+
+	var acquires []acquire
+	seen := map[types.Object]bool{}
+	sameFuncInspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		if !c.acquireExpr(as.Rhs[0]) {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			if obj := assignee(c.info, id); obj != nil && !seen[obj] {
+				seen[obj] = true
+				acquires = append(acquires, acquire{obj: obj, stmt: as})
+			}
+		}
+		return true
+	})
+	if len(acquires) == 0 {
+		return
+	}
+
+	cfg := BuildCFG(body)
+	for _, acq := range acquires {
+		e := &escCheck{pass: pass, c: c, body: body, obj: acq.obj}
+		e.collectAliases()
+		e.check(cfg, acq)
+	}
+}
+
+// escCheck is the per-object state of one poolescape run.
+type escCheck struct {
+	pass *Pass
+	c    *poolCtx
+	body *ast.BlockStmt
+	obj  types.Object
+	// aliases is the may-alias set: the object plus every variable
+	// directly copied from it.
+	aliases map[types.Object]bool
+}
+
+// collectAliases closes the direct-copy relation x := s / x = s over
+// the body (flow-insensitive, so it is a may-alias set).
+func (e *escCheck) collectAliases() {
+	e.aliases = map[types.Object]bool{e.obj: true}
+	for changed := true; changed; {
+		changed = false
+		sameFuncInspect(e.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				src, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || !e.aliases[e.c.info.Uses[src]] {
+					continue
+				}
+				dst, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := assignee(e.c.info, dst); obj != nil && !e.aliases[obj] {
+					e.aliases[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mentionsAlias reports whether the subtree references any alias.
+func (e *escCheck) mentionsAlias(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && e.aliases[e.c.info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// releasesAlias reports whether the call releases any alias of the
+// object (directly or through a releasing helper).
+func (e *escCheck) releasesAlias(call *ast.CallExpr) bool {
+	for obj := range e.aliases {
+		if e.c.releaseCall(call, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// aliasRooted reports whether expr denotes the aliased object or
+// memory reached through it: the alias itself, or a selector/index/
+// slice/deref chain rooted at it.
+func (e *escCheck) aliasRooted(expr ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e.aliases[e.c.info.Uses[x]]
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.SliceExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return false
+			}
+			expr = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func (e *escCheck) check(cfg *CFG, acq acquire) {
+	deferred := false
+	for _, ds := range cfg.Defers {
+		for obj := range e.aliases {
+			if deferReleases(e.c, ds, obj) {
+				deferred = true
+			}
+		}
+	}
+	inline := false
+	sameFuncInspect(e.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && e.releasesAlias(call) {
+			inline = true
+		}
+		return !inline
+	})
+	releases := deferred || inline
+
+	if releases {
+		e.checkEscapes(deferred)
+	}
+	if inline {
+		e.checkFlow(cfg, acq)
+	}
+}
+
+// checkEscapes reports aliases that outlive the function's own release
+// of the object.
+func (e *escCheck) checkEscapes(deferred bool) {
+	name := e.obj.Name()
+	sameFuncInspect(e.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if e.mentionsAlias(n) {
+				e.pass.Reportf(n.Pos(),
+					"pooled %s is captured by a goroutine but released by this function; the goroutine may use it after Put", name)
+			}
+		case *ast.SendStmt:
+			if e.aliasRooted(n.Value) {
+				e.pass.Reportf(n.Pos(),
+					"pooled %s escapes through a channel send but is released by this function", name)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) || !e.aliasRooted(rhs) {
+					continue
+				}
+				lhs := ast.Unparen(n.Lhs[i])
+				if _, plain := lhs.(*ast.Ident); plain || e.aliasRooted(lhs) {
+					continue // local alias copy / internal mutation
+				}
+				e.pass.Reportf(n.Pos(),
+					"pooled %s is stored into %s but released by this function; the stored alias outlives the Put", name, describeLhs(lhs))
+			}
+		case *ast.ReturnStmt:
+			if !deferred {
+				return true // release-then-return paths are use-after-Put's business
+			}
+			for _, res := range n.Results {
+				if e.aliasRooted(res) && referenceTyped(e.c.info, res) {
+					e.pass.Reportf(n.Pos(),
+						"pooled %s (or memory it owns) is returned while a deferred release repools it", name)
+				}
+			}
+		case *ast.CallExpr:
+			e.checkCallEscape(n, name)
+		}
+		return true
+	})
+}
+
+// checkCallEscape flags an alias retained through a call: appended into
+// caller-visible storage, or captured by a closure handed to a
+// goroutine-spawning helper (the fanout/hedged shape).
+func (e *escCheck) checkCallEscape(call *ast.CallExpr, name string) {
+	if calleeName(call) == "append" && len(call.Args) > 1 {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := e.c.info.Uses[id].(*types.Builtin); isBuiltin {
+				for _, arg := range call.Args[1:] {
+					if e.aliasRooted(arg) {
+						e.pass.Reportf(arg.Pos(),
+							"pooled %s is retained via append but released by this function", name)
+					}
+				}
+			}
+		}
+	}
+
+	callee, _ := staticCallee(e.c.info, call)
+	cfi := e.c.mod.FuncOf(callee)
+	if cfi == nil || !cfi.Summary.SpawnsGoroutine {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if e.mentionsAlias(lit.Body) {
+			e.pass.Reportf(call.Pos(),
+				"pooled %s is captured by a closure passed to %s (which spawns goroutines) but released by this function", name, cfi.Name())
+		}
+	}
+}
+
+// checkFlow runs the lifetime flow: use-after-Put and double Put on any
+// path. Deferred releases run at exit and are excluded.
+func (e *escCheck) checkFlow(cfg *CFG, acq acquire) {
+	type report struct {
+		pos token.Pos
+		msg string
+	}
+	var reports []report
+	reporting := false
+
+	transfer := func(b *CFGBlock, in escState) escState {
+		st := in
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue
+			}
+			// Classify the node: release, re-acquire, or plain mention.
+			released := false
+			InspectShallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && e.releasesAlias(call) {
+					released = true
+				}
+				return !released
+			})
+			switch {
+			case released:
+				if st&escReleased != 0 && reporting {
+					reports = append(reports, report{n.Pos(),
+						e.obj.Name() + " may already be released on this path; double Put returns the same object to the pool twice"})
+				}
+				st = escReleased
+			case e.isReacquire(n):
+				st = escLive
+			case e.mentionsAlias(n):
+				if st&escReleased != 0 && reporting {
+					reports = append(reports, report{n.Pos(),
+						"pooled " + e.obj.Name() + " is used on a path where it was already released (use after Put)"})
+				}
+			}
+		}
+		return st
+	}
+
+	in := ForwardFlow(cfg, escState(0), joinEsc, transfer)
+
+	reporting = true
+	for _, b := range cfg.Blocks {
+		st, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		transfer(b, st)
+	}
+	seen := map[token.Pos]bool{}
+	for _, r := range reports {
+		if seen[r.pos] {
+			continue
+		}
+		seen[r.pos] = true
+		e.pass.Reportf(r.pos, "%s", r.msg)
+	}
+}
+
+// isReacquire matches a fresh acquire assignment into the tracked
+// object (or an alias), which resets the lifetime to live.
+func (e *escCheck) isReacquire(n ast.Node) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || !e.c.acquireExpr(as.Rhs[0]) {
+		return false
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := assignee(e.c.info, id)
+	return obj != nil && e.aliases[obj]
+}
+
+// referenceTyped reports whether the expression's type shares memory
+// when returned: pointers, slices, maps, channels, funcs, interfaces.
+func referenceTyped(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// describeLhs renders a store target for diagnostics.
+func describeLhs(lhs ast.Expr) string {
+	if k := exprKey(lhs); k != "" {
+		return k
+	}
+	switch lhs.(type) {
+	case *ast.IndexExpr:
+		return "an element store"
+	case *ast.StarExpr:
+		return "a pointer store"
+	}
+	return "a field store"
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPoolEscapeFixture(t *testing.T) {
+	runFixture(t, PoolEscape, "poolescape")
+}

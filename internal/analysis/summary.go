@@ -60,6 +60,15 @@ type Summary struct {
 	// to putScratch/pool.Put (directly or through such a helper).
 	AcquiresScratch bool
 	ReleasesParams  []bool
+
+	// Taint shapes (wiretaint, taint.go): TaintsResults marks a function
+	// returning a value derived from untrusted wire input; TaintsParams[i]
+	// marks one that stores such a value through its i-th parameter;
+	// TaintSinkParams[i] marks one whose i-th parameter reaches a
+	// size/index sink without a bounds check.
+	TaintsResults   bool
+	TaintsParams    []bool
+	TaintSinkParams []bool
 }
 
 // hotallocExternPkgAllow lists external packages every function of which

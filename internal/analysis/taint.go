@@ -1,0 +1,799 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// taint.go is the summary layer of the wiretaint analyzer (wiretaint.go):
+// per-function taint facts computed over the whole module and propagated
+// through static call edges, so helper-wrapped sources and sinks are
+// understood across functions.
+//
+// The facts mirror the pool-pairing shapes in summary.go:
+//
+//   - TaintsResults: some return value derives from an untrusted source
+//     (a binary frame read, strconv parse of a query parameter, JSON
+//     body decode), directly or through a tainting callee. The typed
+//     wire decoders (Frame.TopKReq and friends) earn this fact.
+//   - TaintsParams[i]: the function stores an untrusted value through
+//     its i-th parameter (a pointer or a field of it), e.g. the dst of
+//     Frame.BatchReq.
+//   - TaintSinkParams[i]: the i-th parameter reaches a size/index sink
+//     (make length, slice/array index, loop bound, io read limit)
+//     without ever being bounds-checked in the body, directly or by
+//     forwarding it to another sink parameter.
+//
+// Sources are seeded only in the taint-scoped packages (the serving
+// tier: internal/wire, internal/server, internal/router, plus analyzer
+// fixtures) — binary reads in trusted persistence files are not
+// attacker-controlled. Sink and store facts are computed module-wide so
+// a scoped caller sees through helpers wherever they live.
+//
+// Sanitizers are syntactic by design: a comparison (<, <=, >, >=, ==,
+// !=) whose operand mentions a value "bare" (possibly under
+// conversions, arithmetic, or len/cap — but not as somebody's index)
+// clears its taint, and a helper can be trusted wholesale with a
+// //lint:sanitized marker in its doc comment. The flow-insensitive
+// summary treats a key guarded anywhere in the body as clean
+// everywhere; the per-function reporting flow in wiretaint.go is
+// path-sensitive and stricter.
+
+// sanitizedPrefix marks a helper whose callers may trust its arguments
+// and results as bounds-checked. The marker goes in the function's doc
+// comment, followed by a reason (like //lint:hotpath).
+const sanitizedPrefix = "//lint:sanitized"
+
+// sanitizedMarked reports whether the declaration's doc comment carries
+// the //lint:sanitized marker.
+func sanitizedMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == sanitizedPrefix || strings.HasPrefix(text, sanitizedPrefix+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// taintScope reports whether the package handles untrusted wire input:
+// the binary codec, the shard server (TCP listener and HTTP bodies),
+// and the router (HTTP bodies and shard responses). Fixtures are always
+// in scope.
+func taintScope(pkg *Package) bool {
+	if fixturePkg(pkg) {
+		return true
+	}
+	rel, ok := modRelPath(pkg)
+	if !ok {
+		return false
+	}
+	switch rel {
+	case "internal/wire", "internal/server", "internal/router":
+		return true
+	}
+	return false
+}
+
+// Pseudo-keys used as assignment targets in the local taint graph.
+const taintRetKey = "\x00ret"
+
+func taintParamKey(i int) string { return "\x00p" + strconv.Itoa(i) }
+
+// taintLocal is the precomputed, AST-free view of one body that the
+// module-wide fixed point re-evaluates each round: assignment edges,
+// call-argument edges, guarded keys, and sink sites.
+type taintLocal struct {
+	// assigns are the dataflow edges lhs ← rhs. lhs is an exprKey, the
+	// pseudo return key, or a pseudo param-store key.
+	assigns []taintAssign
+	// calls records every statically resolved module call argument, for
+	// TaintsParams seeding and TaintSinkParams forwarding.
+	calls []taintCallArg
+	// guarded holds every key that appears bare in a comparison (or as
+	// an argument to a //lint:sanitized helper) anywhere in the body.
+	guarded map[string]bool
+	// sinks lists the keys mentioned at each local size/index sink.
+	sinks [][]string
+	// params holds the parameter name keys by index ("" if unnamed).
+	params []string
+}
+
+// taintAssign is one edge of the local taint graph.
+type taintAssign struct {
+	lhs string
+	// keys are the exprKeys mentioned in the rhs; taint flows from any
+	// tainted key.
+	keys []string
+	// callees are the statically resolved module calls in the rhs;
+	// taint flows from any callee with TaintsResults.
+	callees []*types.Func
+	// source marks an rhs containing a direct untrusted read.
+	source bool
+}
+
+// taintCallArg is one argument position of a statically resolved call.
+type taintCallArg struct {
+	callee *types.Func
+	arg    int
+	// key is the argument's exprKey with a leading & stripped — the
+	// variable the callee may write through when it TaintsParams.
+	key string
+	// keys are every key mentioned in the argument, for sink-param
+	// forwarding.
+	keys []string
+}
+
+// taintDirect precomputes fi's local taint graph. Called from
+// BuildModule after every FuncInfo exists, so //lint:sanitized callees
+// resolve immediately.
+func taintDirect(fi *FuncInfo, mod *Module) {
+	info := fi.Pkg.Info
+	tl := &taintLocal{guarded: map[string]bool{}, params: paramKeys(fi)}
+	fi.taint = tl
+	fi.Summary.TaintsParams = make([]bool, paramCount(fi))
+	fi.Summary.TaintSinkParams = make([]bool, paramCount(fi))
+	scoped := taintScope(fi.Pkg)
+
+	addAssign := func(lhs string, rhs ast.Expr) {
+		if lhs == "" {
+			return
+		}
+		a := taintAssign{lhs: lhs}
+		taintExprFacts(info, mod, rhs, scoped, &a)
+		tl.assigns = append(tl.assigns, a)
+	}
+	addSink := func(exprs ...ast.Expr) {
+		var keys []string
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			keys = append(keys, exprKeys(e)...)
+		}
+		if len(keys) > 0 {
+			tl.sinks = append(tl.sinks, keys)
+		}
+	}
+
+	sameFuncInspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			for _, k := range comparisonKeys(n.Cond) {
+				tl.guarded[k] = true
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				addSink(n.Cond)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := pairedRhs(n.Lhs, n.Rhs, i)
+				lhs := ast.Unparen(lhs)
+				addAssign(exprKey(lhs), rhs)
+				if pi := paramStoreIndex(fi, info, lhs); pi >= 0 {
+					addAssign(taintParamKey(pi), rhs)
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					switch {
+					case len(vs.Names) == len(vs.Values):
+						rhs = vs.Values[i]
+					case len(vs.Values) == 1:
+						rhs = vs.Values[0]
+					}
+					if rhs != nil {
+						addAssign(name.Name, rhs)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			keyBounded := rangeKeyBounded(info, n.X)
+			for _, v := range []ast.Expr{n.Key, n.Value} {
+				if v == nil || (v == n.Key && keyBounded) {
+					continue
+				}
+				if id, ok := ast.Unparen(v).(*ast.Ident); ok {
+					addAssign(id.Name, n.X)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				addAssign(taintRetKey, res)
+			}
+			if len(n.Results) == 0 {
+				for _, name := range namedResults(fi) {
+					a := taintAssign{lhs: taintRetKey, keys: []string{name}}
+					tl.assigns = append(tl.assigns, a)
+				}
+			}
+		case *ast.IndexExpr:
+			if indexableSink(info, n) {
+				addSink(n.Index)
+			}
+		case *ast.SliceExpr:
+			addSink(n.Low, n.High, n.Max)
+		case *ast.CallExpr:
+			taintCallFacts(fi, mod, n, scoped, addSink)
+		}
+		return true
+	})
+}
+
+// taintCallFacts classifies one call for the local graph: sanitized
+// helpers guard their arguments, module calls contribute argument
+// edges, json decodes seed struct taint, make/io-limit shapes are
+// sinks.
+func taintCallFacts(fi *FuncInfo, mod *Module, call *ast.CallExpr, scoped bool, addSink func(...ast.Expr)) {
+	info := fi.Pkg.Info
+	tl := fi.taint
+
+	if isMakeCall(info, call) && len(call.Args) > 1 {
+		addSink(call.Args[1:]...)
+		return
+	}
+	if i := ioLimitArg(info, call); i >= 0 && i < len(call.Args) {
+		addSink(call.Args[i])
+	}
+	if scoped {
+		if i, ok := jsonDecodeArg(info, call); ok && i < len(call.Args) {
+			tl.assigns = append(tl.assigns, taintAssign{
+				lhs:    addrKey(call.Args[i]),
+				source: true,
+			})
+		}
+	}
+
+	callee, _ := staticCallee(info, call)
+	cfi := mod.FuncOf(callee)
+	if cfi == nil {
+		return
+	}
+	if cfi.Sanitized {
+		for _, arg := range call.Args {
+			for _, k := range exprKeys(arg) {
+				tl.guarded[k] = true
+			}
+		}
+		return
+	}
+	for i, arg := range call.Args {
+		tl.calls = append(tl.calls, taintCallArg{
+			callee: callee,
+			arg:    i,
+			key:    addrKey(arg),
+			keys:   exprKeys(arg),
+		})
+	}
+}
+
+// propagateTaint runs the taint facts to a fixed point over the call
+// graph. Every fact is monotone (false → true only) and the local
+// graphs are precomputed, so each round is pure data flow.
+func propagateTaint(mod *Module) {
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range mod.Funcs {
+			if taintEval(fi, mod) {
+				changed = true
+			}
+		}
+	}
+}
+
+// taintEval recomputes fi's taint facts from its local graph and the
+// current callee summaries, reporting whether anything changed.
+func taintEval(fi *FuncInfo, mod *Module) bool {
+	if fi.Sanitized {
+		return false
+	}
+	tl := fi.taint
+	s := &fi.Summary
+
+	tainted := map[string]bool{}
+	add := func(k string) bool {
+		if k == "" || tl.guarded[k] || tainted[k] {
+			return false
+		}
+		tainted[k] = true
+		return true
+	}
+	// Seeds: direct sources and callees that write taint through an
+	// argument we hand them.
+	for _, a := range tl.assigns {
+		if a.source {
+			add(a.lhs)
+		}
+	}
+	for _, c := range tl.calls {
+		cfi := mod.FuncOf(c.callee)
+		if cfi == nil || c.key == "" {
+			continue
+		}
+		if c.arg < len(cfi.Summary.TaintsParams) && cfi.Summary.TaintsParams[c.arg] {
+			add(c.key)
+		}
+	}
+	// Closure over the assignment edges.
+	for again := true; again; {
+		again = false
+		for _, a := range tl.assigns {
+			if tainted[a.lhs] || tl.guarded[a.lhs] || a.lhs == "" {
+				continue
+			}
+			if anyPrefixIn(a.keys, tainted, tl.guarded) || anyTaintsResults(a.callees, mod) {
+				if add(a.lhs) {
+					again = true
+				}
+			}
+		}
+	}
+
+	changed := false
+	changed = orInto(&s.TaintsResults, tainted[taintRetKey]) || changed
+
+	for i, pname := range tl.params {
+		if !s.TaintsParams[i] {
+			visible := tainted[taintParamKey(i)]
+			// A pointer parameter handed whole to a tainting callee, or
+			// a tainted selector rooted at the parameter, is a
+			// caller-visible store too.
+			for k := range tainted {
+				if pname != "" && k != pname && strings.HasPrefix(k, pname+".") {
+					visible = true
+				}
+			}
+			if !visible && pname != "" && tainted[pname] && pointerLike(paramType(fi, i)) {
+				visible = true
+			}
+			if visible {
+				s.TaintsParams[i] = true
+				changed = true
+			}
+		}
+		if !s.TaintSinkParams[i] && pname != "" && !tl.guarded[pname] {
+			if paramReachesSink(fi, mod, pname) {
+				s.TaintSinkParams[i] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// paramReachesSink reports whether values derived from the named
+// parameter reach a local sink or an unguarded sink parameter of a
+// callee, never passing a guard on the way.
+func paramReachesSink(fi *FuncInfo, mod *Module, pname string) bool {
+	tl := fi.taint
+	derived := map[string]bool{pname: true}
+	for again := true; again; {
+		again = false
+		for _, a := range tl.assigns {
+			if a.lhs == "" || derived[a.lhs] || tl.guarded[a.lhs] {
+				continue
+			}
+			if anyPrefixIn(a.keys, derived, tl.guarded) {
+				derived[a.lhs] = true
+				again = true
+			}
+		}
+	}
+	for _, keys := range tl.sinks {
+		if anyPrefixIn(keys, derived, tl.guarded) {
+			return true
+		}
+	}
+	for _, c := range tl.calls {
+		cfi := mod.FuncOf(c.callee)
+		if cfi == nil || c.arg >= len(cfi.Summary.TaintSinkParams) || !cfi.Summary.TaintSinkParams[c.arg] {
+			continue
+		}
+		if anyPrefixIn(c.keys, derived, tl.guarded) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyPrefixIn reports whether any key (or a dot-prefix of it) is in
+// set, with guarded keys treated as clean.
+func anyPrefixIn(keys []string, set, guarded map[string]bool) bool {
+	for _, k := range keys {
+		if keyPrefixIn(k, set, guarded) {
+			return true
+		}
+	}
+	return false
+}
+
+// keyPrefixIn walks k and its dot-prefixes from longest to shortest;
+// the first mark found decides (a guarded child overrides a tainted
+// parent).
+func keyPrefixIn(k string, set, guarded map[string]bool) bool {
+	for {
+		if guarded[k] {
+			return false
+		}
+		if set[k] {
+			return true
+		}
+		i := strings.LastIndexByte(k, '.')
+		if i < 0 {
+			return false
+		}
+		k = k[:i]
+	}
+}
+
+func anyTaintsResults(callees []*types.Func, mod *Module) bool {
+	for _, fn := range callees {
+		if cfi := mod.FuncOf(fn); cfi != nil && cfi.Summary.TaintsResults {
+			return true
+		}
+	}
+	return false
+}
+
+// taintExprFacts fills a with the keys, module callees, and source
+// flag of one rhs expression (never descending into function
+// literals).
+func taintExprFacts(info *types.Info, mod *Module, rhs ast.Expr, scoped bool, a *taintAssign) {
+	seen := map[string]bool{}
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if k := exprKey(e); k != "" {
+				// Stop at the longest chain: a guarded h.n must not expose
+				// its tainted root h.
+				if !seen[k] {
+					seen[k] = true
+					a.keys = append(a.keys, k)
+				}
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if scoped && isTaintSourceCall(info, call) {
+			a.source = true
+			return false
+		}
+		callee, dynamic := staticCallee(info, call)
+		if callee != nil {
+			// A resolved call contributes its result taint (via the
+			// callee's summary), never its arguments' taint.
+			if cfi := mod.FuncOf(callee); cfi != nil && !cfi.Sanitized {
+				a.callees = append(a.callees, callee)
+			}
+			return false
+		}
+		if dynamic {
+			return false
+		}
+		return true // conversion or builtin: taint flows through
+	})
+}
+
+// exprKeys returns every distinct exprKey mentioned in e (outside
+// nested function literals).
+func exprKeys(e ast.Expr) []string {
+	var keys []string
+	seen := map[string]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok {
+			if k := exprKey(x); k != "" {
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// isTaintSourceCall matches the untrusted reads: fixed-width loads off
+// a frame via encoding/binary byte orders, and strconv parses of query
+// parameters.
+func isTaintSourceCall(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Uint16", "Uint32", "Uint64":
+			if t := typeOf(info, sel.X); t != nil {
+				if named, ok := t.(*types.Named); ok {
+					if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "encoding/binary" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	callee, _ := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "strconv" {
+		return false
+	}
+	switch callee.Name() {
+	case "Atoi", "ParseInt", "ParseUint", "ParseFloat":
+		return true
+	}
+	return false
+}
+
+// jsonDecodeArg returns the argument index that an encoding/json decode
+// writes through: json.Unmarshal(data, &v) → 1, dec.Decode(&v) → 0.
+func jsonDecodeArg(info *types.Info, call *ast.CallExpr) (int, bool) {
+	callee, _ := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "encoding/json" {
+		return 0, false
+	}
+	switch callee.Name() {
+	case "Unmarshal":
+		return 1, true
+	case "Decode":
+		return 0, true
+	}
+	return 0, false
+}
+
+// ioLimitArg returns the index of the read-limit argument of an io
+// limiting call, or -1.
+func ioLimitArg(info *types.Info, call *ast.CallExpr) int {
+	callee, _ := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "io" {
+		return -1
+	}
+	switch callee.Name() {
+	case "LimitReader":
+		return 1
+	case "CopyN":
+		return 2
+	}
+	return -1
+}
+
+// rangeKeyBounded reports whether ranging over x yields keys the
+// runtime bounds (slice/array/string/integer indices), as opposed to a
+// map whose keys are attacker content.
+func rangeKeyBounded(info *types.Info, x ast.Expr) bool {
+	t := typeOf(info, x)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Map, *types.Chan:
+		return false
+	case *types.Basic:
+		return u.Info()&(types.IsString|types.IsInteger) != 0
+	}
+	return true
+}
+
+// isMakeCall matches the builtin make.
+func isMakeCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// indexableSink reports whether the index expression indexes a
+// length-bounded container (slice, array, string — not a map, whose
+// lookups cannot panic on range) with a value, not a type parameter.
+func indexableSink(info *types.Info, n *ast.IndexExpr) bool {
+	if tv, ok := info.Types[n.X]; !ok || tv.IsType() {
+		return false
+	}
+	t := typeOf(info, n.X)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// comparisonKeys collects every key mentioned bare in a comparison
+// inside cond: under conversions, arithmetic, unary operators, len/cap
+// and other call arguments — but never from an index or slice-bound
+// position (`a[i] == 0` bounds nothing about i).
+func comparisonKeys(cond ast.Expr) []string {
+	out := map[string]bool{}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isComparisonOp(be.Op) {
+			return true
+		}
+		collectBareKeys(be.X, out)
+		collectBareKeys(be.Y, out)
+		return true
+	})
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// collectBareKeys walks one comparison operand, collecting ident and
+// selector keys but skipping index/slice-bound subtrees: appearing as
+// an index inside a comparison is not a bounds check on the index.
+func collectBareKeys(e ast.Expr, out map[string]bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		collectBareKeys(e.X, out)
+	case *ast.UnaryExpr:
+		collectBareKeys(e.X, out)
+	case *ast.StarExpr:
+		collectBareKeys(e.X, out)
+	case *ast.BinaryExpr:
+		collectBareKeys(e.X, out)
+		collectBareKeys(e.Y, out)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			collectBareKeys(a, out)
+		}
+	case *ast.IndexExpr:
+		collectBareKeys(e.X, out)
+	case *ast.SliceExpr:
+		collectBareKeys(e.X, out)
+	case *ast.TypeAssertExpr:
+		collectBareKeys(e.X, out)
+	case *ast.SelectorExpr, *ast.Ident:
+		if k := exprKey(e); k != "" {
+			out[k] = true
+		}
+	}
+}
+
+// addrKey returns the exprKey of an argument with a leading & stripped
+// — the variable a callee writes through when it taints the parameter.
+func addrKey(arg ast.Expr) string {
+	arg = ast.Unparen(arg)
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		arg = ue.X
+	}
+	return exprKey(arg)
+}
+
+// pairedRhs maps assignment position i to its right-hand side: one-to-
+// one when the counts match, the single call otherwise.
+func pairedRhs(lhs, rhs []ast.Expr, i int) ast.Expr {
+	switch {
+	case len(lhs) == len(rhs):
+		return rhs[i]
+	case len(rhs) == 1:
+		return rhs[0]
+	}
+	return nil
+}
+
+// paramStoreIndex returns the parameter index when lhs writes through a
+// parameter (a field selector, dereference, or element — not a plain
+// rebinding of the parameter name), else -1.
+func paramStoreIndex(fi *FuncInfo, info *types.Info, lhs ast.Expr) int {
+	switch lhs.(type) {
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return -1
+	}
+	root := lhs
+	for {
+		switch x := root.(type) {
+		case *ast.SelectorExpr:
+			root = x.X
+		case *ast.StarExpr:
+			root = x.X
+		case *ast.IndexExpr:
+			root = x.X
+		case *ast.ParenExpr:
+			root = x.X
+		default:
+			return paramIndexOf(fi, info, root)
+		}
+	}
+}
+
+// paramKeys returns the parameter name keys by index ("" if unnamed).
+func paramKeys(fi *FuncInfo) []string {
+	var out []string
+	if fi.Decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fi.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, "")
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, name.Name)
+		}
+	}
+	return out
+}
+
+// namedResults returns the declared result names (for bare returns).
+func namedResults(fi *FuncInfo) []string {
+	var out []string
+	if fi.Decl.Type.Results == nil {
+		return nil
+	}
+	for _, field := range fi.Decl.Type.Results.List {
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out = append(out, name.Name)
+			}
+		}
+	}
+	return out
+}
+
+// paramType returns the declared type of parameter i, or nil.
+func paramType(fi *FuncInfo, i int) types.Type {
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok || i >= sig.Params().Len() {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// pointerLike reports whether writes through a value of this type are
+// visible to the caller.
+func pointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

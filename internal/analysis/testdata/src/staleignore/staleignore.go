@@ -1,0 +1,19 @@
+// Package staleignore exercises the -audit stale-suppression check: one
+// live directive (its raw finding still fires), one stale line directive
+// (nothing on the next line triggers the rule), and one stale file-wide
+// directive for a rule with no finding anywhere in the file.
+package staleignore
+
+import "time"
+
+//lint:file-ignore seedmix nothing in this file derives seeds at all
+
+func live() time.Time {
+	//lint:ignore norand fixture keeps a live finding under suppression
+	return time.Now()
+}
+
+func quiet() int {
+	//lint:ignore norand this directive went stale when the time.Now call below was removed
+	return 42
+}

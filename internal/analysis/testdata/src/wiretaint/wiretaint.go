@@ -1,0 +1,256 @@
+// Package wiretaint exercises the wiretaint analyzer: every length,
+// count, or offset read off the wire must pass a bounds check before it
+// sizes a make, indexes a buffer, bounds a loop, or limits a read.
+package wiretaint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+const maxFrame = 64 << 20
+
+// --- direct source → make ---
+
+func badMake(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	return make([]byte, n) // want "wire-tainted n reaches a make size"
+}
+
+func okGuardedMake(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// --- index sink ---
+
+func badIndex(b []byte, table []uint32) uint32 {
+	i := int(binary.LittleEndian.Uint32(b))
+	return table[i] // want "wire-tainted i reaches an index"
+}
+
+func okIndex(b []byte, table []uint32) uint32 {
+	i := int(binary.LittleEndian.Uint32(b))
+	if i >= len(table) {
+		return 0
+	}
+	return table[i]
+}
+
+// --- slice-bound sink ---
+
+func badSliceBound(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	return b[:n] // want "wire-tainted n reaches a slice bound"
+}
+
+func okSliceBound(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > len(b) {
+		return nil
+	}
+	return b[:n]
+}
+
+// --- loop-bound sink ---
+
+func badLoop(b []byte) int {
+	n := int(binary.LittleEndian.Uint32(b))
+	sum := 0
+	for i := 0; i < n; i++ { // want "wire-tainted n reaches a loop bound"
+		sum += i
+	}
+	return sum
+}
+
+func okLoop(b []byte) int {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > len(b) {
+		return 0
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += int(b[i])
+	}
+	return sum
+}
+
+// --- io read-limit sink ---
+
+func badIOLimit(r io.Reader, b []byte) io.Reader {
+	n := int64(binary.LittleEndian.Uint64(b))
+	return io.LimitReader(r, n) // want "wire-tainted n reaches an io read limit"
+}
+
+func okIOLimit(r io.Reader, b []byte) io.Reader {
+	n := int64(binary.LittleEndian.Uint64(b))
+	if n > maxFrame {
+		n = maxFrame
+	}
+	return io.LimitReader(r, n)
+}
+
+// --- strconv source (query parameters) ---
+
+func badAtoi(q string) []byte {
+	n, _ := strconv.Atoi(q)
+	return make([]byte, n) // want "wire-tainted n reaches a make size"
+}
+
+// --- json body source ---
+
+type jreq struct {
+	N     int
+	Items []uint32
+}
+
+func badJSON(body []byte) []uint32 {
+	var q jreq
+	_ = json.Unmarshal(body, &q)
+	return make([]uint32, q.N) // want "wire-tainted q.N reaches a make size"
+}
+
+func okJSON(body []byte) []uint32 {
+	var q jreq
+	_ = json.Unmarshal(body, &q)
+	if q.N < 0 || q.N > maxFrame {
+		return nil
+	}
+	out := make([]uint32, 0, q.N)
+	for _, v := range q.Items {
+		out = append(out, v)
+	}
+	return out
+}
+
+// --- path sensitivity: a guard on one branch does not cover the join ---
+
+func badJoin(b []byte, strict bool) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	if strict {
+		if n > maxFrame {
+			return nil
+		}
+	}
+	return make([]byte, n) // want "wire-tainted n reaches a make size"
+}
+
+// --- re-tainting after a guard discards the sanitization ---
+
+func badRefresh(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > maxFrame {
+		return nil
+	}
+	n = int(binary.LittleEndian.Uint32(b[4:]))
+	return make([]byte, n) // want "wire-tainted n reaches a make size"
+}
+
+// --- interprocedural source: helpers that return wire-derived values ---
+
+func readLen(b []byte) int {
+	return int(binary.LittleEndian.Uint32(b))
+}
+
+func readLen2(b []byte) int {
+	return readLen(b)
+}
+
+func badHelperSource(b []byte) []byte {
+	return make([]byte, readLen2(b)) // want "result of readLen2 reaches a make size"
+}
+
+func okHelperSource(b []byte) []byte {
+	n := readLen2(b)
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// --- interprocedural sink: helpers whose parameter reaches a sink ---
+
+func alloc(n int) []byte {
+	return make([]byte, n)
+}
+
+func allocVia(n int) []byte {
+	return alloc(n)
+}
+
+func badHelperSink(b []byte) []byte {
+	n := readLen(b)
+	return allocVia(n) // want "sink inside allocVia"
+}
+
+func allocGuarded(n int) []byte {
+	if n < 0 || n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func okGuardedHelper(b []byte) []byte {
+	return allocGuarded(readLen(b))
+}
+
+// --- //lint:sanitized marker helpers ---
+
+// fits reports whether n is a plausible section size.
+//
+//lint:sanitized callers may trust a checked n after the call
+func fits(n int) bool {
+	return n >= 0 && n <= maxFrame
+}
+
+func okMarkerGuard(b []byte) []byte {
+	n := readLen(b)
+	if !fits(n) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// --- interprocedural stores: decoding through a pointer parameter ---
+
+type hdr struct {
+	count uint32
+	off   uint32
+}
+
+func decodeHdr(b []byte, h *hdr) {
+	h.count = binary.LittleEndian.Uint32(b)
+	h.off = binary.LittleEndian.Uint32(b[4:])
+}
+
+func decodeHdr2(b []byte, h *hdr) {
+	decodeHdr(b, h)
+}
+
+func badParamStore(b []byte) []uint32 {
+	var h hdr
+	decodeHdr2(b, &h)
+	return make([]uint32, h.count) // want "wire-tainted h.count reaches a make size"
+}
+
+func okParamStore(b []byte) []uint32 {
+	var h hdr
+	decodeHdr2(b, &h)
+	if h.count > maxFrame {
+		return nil
+	}
+	return make([]uint32, h.count)
+}
+
+// --- suppression ---
+
+func suppressed(b []byte) []byte {
+	n := readLen(b)
+	//lint:ignore wiretaint callers hand us at most one already-validated frame
+	return make([]byte, n)
+}

@@ -1,0 +1,460 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireTaint is a forward taint analysis over untrusted wire input. The
+// serving tier decodes attacker-controlled frames and HTTP bodies;
+// every length, count, offset, or vertex id read off the wire must pass
+// a bounds check before it sizes an allocation, indexes a buffer,
+// bounds a loop, or limits a read. The binary codec's own checks (the
+// 64 MiB frame bound, the per-section count×elem validation) become
+// machine-verified instead of convention: delete one and the analyzer
+// reports every use downstream of the missing guard.
+//
+// Sources: encoding/binary byte-order loads, strconv parses of query
+// parameters, and encoding/json decodes of request bodies — plus any
+// module helper whose summary says it returns or stores wire-derived
+// values (taint.go). Sinks: make lengths/capacities, slice/array/
+// string indexing and slice bounds, for-loop bound conditions, io read
+// limits (io.LimitReader/CopyN), and arguments to module helpers whose
+// summary says the parameter reaches such a sink unguarded. Sanitizers:
+// a comparison mentioning the value bare (under conversions,
+// arithmetic, or len/cap — not as someone's index), or a call to a
+// //lint:sanitized helper, clears the taint on that path.
+//
+// The check is path-sensitive: it runs a may-taint flow over the CFG,
+// so a guard sanitizes only the paths it dominates, and a join where
+// any incoming path is unguarded stays tainted. Values tainted through
+// an enclosing function's variables are not visible inside nested
+// function literals (each literal is analyzed as its own function).
+var WireTaint = &Analyzer{
+	Name: "wiretaint",
+	Doc: "a length/count/offset derived from wire input must pass a bounds check " +
+		"before reaching make, an index, a loop bound, or an io read limit",
+	Run: runWireTaint,
+}
+
+func runWireTaint(pass *Pass) error {
+	if !taintScope(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		eachFunc(f, func(name string, body *ast.BlockStmt) {
+			checkWireTaint(pass, body)
+		})
+	}
+	return nil
+}
+
+// taintMark is a key's per-path status. Absent means never tainted;
+// sanitized overrides a tainted dot-prefix (the guard mentioned the
+// parent).
+type taintMark uint8
+
+const (
+	markTainted taintMark = iota + 1
+	markSanitized
+)
+
+// taintFlowState maps exprKeys to their marks. Effective status of a
+// key walks its dot-prefixes longest-first; the first mark wins.
+type taintFlowState map[string]taintMark
+
+func (st taintFlowState) eff(k string) taintMark {
+	for {
+		if m, ok := st[k]; ok {
+			return m
+		}
+		i := lastDot(k)
+		if i < 0 {
+			return 0
+		}
+		k = k[:i]
+	}
+}
+
+func lastDot(k string) int {
+	for i := len(k) - 1; i >= 0; i-- {
+		if k[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// taint marks k tainted and drops stale child marks (a fresh value
+// overwrites whatever was known about its fields).
+func (st taintFlowState) taint(k string) {
+	st.dropChildren(k)
+	st[k] = markTainted
+}
+
+// sanitize clears k's taint on this path. Explicitly tainted children
+// keep their own marks — the guard spoke only about k.
+func (st taintFlowState) sanitize(k string) {
+	st[k] = markSanitized
+}
+
+// kill forgets k entirely (reassigned from an untainted value).
+func (st taintFlowState) kill(k string) {
+	st.dropChildren(k)
+	delete(st, k)
+}
+
+func (st taintFlowState) dropChildren(k string) {
+	prefix := k + "."
+	for c := range st {
+		if len(c) > len(prefix) && c[:len(prefix)] == prefix {
+			delete(st, c)
+		}
+	}
+}
+
+func (st taintFlowState) clone() taintFlowState {
+	out := make(taintFlowState, len(st))
+	for k, m := range st {
+		out[k] = m
+	}
+	return out
+}
+
+// merge joins src into dst (may-taint): tainted beats sanitized beats
+// absent, except that a sanitized mark cannot survive a path where the
+// key is effectively tainted through a prefix. Marks only ever go up,
+// so block-entry states grow monotonically and the worklist terminates.
+func (dst taintFlowState) merge(src taintFlowState) bool {
+	changed := false
+	raise := func(k string, m taintMark) {
+		if dst[k] < m {
+			dst[k] = m
+			changed = true
+		}
+	}
+	for k, m := range src {
+		if m == markSanitized && dst.eff(k) == markTainted {
+			m = markTainted
+		}
+		raise(k, m)
+	}
+	for k, m := range dst {
+		if m == markSanitized && src.eff(k) == markTainted {
+			raise(k, markTainted)
+		}
+	}
+	return changed
+}
+
+// wtReporter receives sink findings during the reporting pass; nil
+// during the solve.
+type wtReporter func(pos token.Pos, format string, args ...any)
+
+// wtFlow bundles one function's analysis context.
+type wtFlow struct {
+	pass       *Pass
+	guardConds map[ast.Expr]bool
+	forConds   map[ast.Expr]bool
+}
+
+func checkWireTaint(pass *Pass, body *ast.BlockStmt) {
+	w := &wtFlow{
+		pass:       pass,
+		guardConds: map[ast.Expr]bool{},
+		forConds:   map[ast.Expr]bool{},
+	}
+	sameFuncInspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			w.guardConds[n.Cond] = true
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				w.forConds[n.Cond] = true
+			}
+		}
+		return true
+	})
+
+	cfg := BuildCFG(body)
+
+	transfer := func(b *CFGBlock, st taintFlowState, rep wtReporter) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue
+			}
+			w.node(n, st, rep)
+		}
+	}
+
+	// Solve to a fixed point, then re-run each reachable block's
+	// transfer against its converged entry state to emit reports.
+	in := map[*CFGBlock]taintFlowState{cfg.Entry: {}}
+	work := []*CFGBlock{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := in[b].clone()
+		transfer(b, out, nil)
+		for _, s := range b.Succs {
+			cur, seen := in[s]
+			if !seen {
+				in[s] = out.clone()
+				work = append(work, s)
+				continue
+			}
+			if cur.merge(out) {
+				work = append(work, s)
+			}
+		}
+	}
+
+	reported := map[token.Pos]bool{}
+	for _, b := range cfg.Blocks {
+		st, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		transfer(b, st.clone(), func(pos token.Pos, format string, args ...any) {
+			if reported[pos] {
+				return
+			}
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		})
+	}
+}
+
+// node applies one shallow CFG node: guard sanitization, sink checks,
+// call effects, then definitions.
+func (w *wtFlow) node(n ast.Node, st taintFlowState, rep wtReporter) {
+	info := w.pass.Pkg.Info
+
+	// Guard conditions sanitize the keys they compare before anything
+	// else in the condition is considered a sink (`n < len(b) && b[n]`).
+	if e, ok := n.(ast.Expr); ok && w.guardConds[e] {
+		for _, k := range comparisonKeys(e) {
+			if st.eff(k) == markTainted {
+				st.sanitize(k)
+			}
+		}
+	}
+	if e, ok := n.(ast.Expr); ok && w.forConds[e] {
+		w.sink(e, st, rep, "a loop bound")
+	}
+
+	// Expression-level effects and sinks.
+	InspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			w.call(m, st, rep)
+		case *ast.IndexExpr:
+			if indexableSink(info, m) {
+				w.sink(m.Index, st, rep, "an index")
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{m.Low, m.High, m.Max} {
+				if bound != nil {
+					w.sink(bound, st, rep, "a slice bound")
+				}
+			}
+		}
+		return true
+	})
+
+	// Definitions last: the rhs was evaluated under the pre-state plus
+	// any call effects above.
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			lhs := ast.Unparen(lhs)
+			k := exprKey(lhs)
+			if k == "" {
+				continue
+			}
+			rhs := pairedRhs(n.Lhs, n.Rhs, i)
+			tainted := rhs != nil && w.exprTainted(rhs, st)
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				// Compound assignment keeps existing taint.
+				tainted = tainted || st.eff(k) == markTainted
+			}
+			if tainted {
+				st.taint(k)
+			} else {
+				st.kill(k)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				switch {
+				case len(vs.Names) == len(vs.Values):
+					rhs = vs.Values[i]
+				case len(vs.Values) == 1:
+					rhs = vs.Values[0]
+				}
+				if rhs != nil && w.exprTainted(rhs, st) {
+					st.taint(name.Name)
+				} else {
+					st.kill(name.Name)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		tainted := w.exprTainted(n.X, st)
+		// A range key over a slice/array/string is an index the runtime
+		// bounds for us; only the element values carry the taint. Map
+		// range keys are attacker content like the values.
+		keyBounded := rangeKeyBounded(info, n.X)
+		for _, v := range []ast.Expr{n.Key, n.Value} {
+			if v == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(v).(*ast.Ident); ok && id.Name != "_" {
+				if tainted && !(v == n.Key && keyBounded) {
+					st.taint(id.Name)
+				} else {
+					st.kill(id.Name)
+				}
+			}
+		}
+	}
+}
+
+// call applies one call expression: sanitized helpers clear their
+// arguments, tainting callees write through theirs, sink-parameter
+// callees and the builtin/io sinks report.
+func (w *wtFlow) call(call *ast.CallExpr, st taintFlowState, rep wtReporter) {
+	info := w.pass.Pkg.Info
+	mod := w.pass.Mod
+
+	if isMakeCall(info, call) {
+		for _, arg := range call.Args[1:] {
+			w.sink(arg, st, rep, "a make size")
+		}
+		return
+	}
+	if i := ioLimitArg(info, call); i >= 0 && i < len(call.Args) {
+		w.sink(call.Args[i], st, rep, "an io read limit")
+	}
+	if i, ok := jsonDecodeArg(info, call); ok && i < len(call.Args) {
+		if k := addrKey(call.Args[i]); k != "" {
+			st.taint(k)
+		}
+	}
+
+	callee, _ := staticCallee(info, call)
+	cfi := mod.FuncOf(callee)
+	if cfi == nil {
+		return
+	}
+	if cfi.Sanitized {
+		for _, arg := range call.Args {
+			for _, k := range exprKeys(arg) {
+				if st.eff(k) == markTainted {
+					st.sanitize(k)
+				}
+			}
+		}
+		return
+	}
+	for i, arg := range call.Args {
+		if i < len(cfi.Summary.TaintSinkParams) && cfi.Summary.TaintSinkParams[i] {
+			w.sink(arg, st, rep, "a size/index sink inside "+cfi.Name())
+		}
+		if i < len(cfi.Summary.TaintsParams) && cfi.Summary.TaintsParams[i] {
+			if k := addrKey(arg); k != "" {
+				st.taint(k)
+			}
+		}
+	}
+}
+
+// sink reports a sink expression that carries taint.
+func (w *wtFlow) sink(e ast.Expr, st taintFlowState, rep wtReporter, what string) {
+	if rep == nil {
+		return
+	}
+	if witness, ok := w.taintWitness(e, st); ok {
+		rep(e.Pos(), "wire-tainted %s reaches %s without a bounds check; compare it against a cap or len/cap first", witness, what)
+	}
+}
+
+// exprTainted reports whether e may carry wire-derived data.
+func (w *wtFlow) exprTainted(e ast.Expr, st taintFlowState) bool {
+	_, ok := w.taintWitness(e, st)
+	return ok
+}
+
+// taintWitness finds the first wire-derived piece of e: a tainted key,
+// a direct source read, or a call to a helper that returns taint.
+// make/new results are fresh memory, never tainted themselves (the
+// tainted size is reported at the sink instead).
+func (w *wtFlow) taintWitness(e ast.Expr, st taintFlowState) (string, bool) {
+	info := w.pass.Pkg.Info
+	mod := w.pass.Mod
+	witness := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if witness != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok {
+			if k := exprKey(x); k != "" {
+				// The key decides for the whole chain: descending further
+				// would find a tainted parent under a sanitized child.
+				if st.eff(k) == markTainted {
+					witness = k
+				}
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isMakeCall(info, call) || isNewCall(info, call) {
+			return false
+		}
+		if isTaintSourceCall(info, call) {
+			witness = "value"
+			return false
+		}
+		callee, dynamic := staticCallee(info, call)
+		if callee != nil {
+			// A resolved call's result is tainted only when its summary
+			// says so — tainted arguments do not taint the result.
+			if cfi := mod.FuncOf(callee); cfi != nil && !cfi.Sanitized && cfi.Summary.TaintsResults {
+				witness = "result of " + cfi.Name()
+			}
+			return false
+		}
+		if dynamic {
+			return false
+		}
+		return true // conversion or builtin: taint flows through
+	})
+	return witness, witness != ""
+}
+
+// isNewCall matches the builtin new.
+func isNewCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "new" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestWireTaintFixture(t *testing.T) {
+	runFixture(t, WireTaint, "wiretaint")
+}

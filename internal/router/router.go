@@ -439,6 +439,7 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 	g := rt.getGather()
 	g.ensure(n)
 	defer rt.putGather(g)
+	//lint:ignore poolescape fanout joins every worker before returning, so the deferred putGather runs strictly after the last goroutine touches g
 	fanout(n, func(i int) {
 		g.errs[i] = rt.fetchTopKFrag(ctx, t, i, u, g)
 	})
@@ -636,6 +637,7 @@ func (rt *Router) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	for _, u := range req.Queries {
 		g.q32 = append(g.q32, uint32(u))
 	}
+	//lint:ignore poolescape fanout joins every worker before returning, so the deferred putGather runs strictly after the last goroutine touches g
 	fanout(n, func(i int) {
 		g.errs[i] = rt.fetchBatchFrags(ctx, t, i, req.Queries, g)
 	})
@@ -837,6 +839,7 @@ func (rt *Router) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	g := rt.getGather()
 	g.ensure(n)
 	defer rt.putGather(g)
+	//lint:ignore poolescape fanout joins every worker before returning, so the deferred putGather runs strictly after the last goroutine touches g
 	fanout(n, func(i int) {
 		g.errs[i] = rt.fetchSimilarFrag(ctx, t, i, u, theta, g)
 	})

@@ -294,6 +294,8 @@ func (h *Handler) shardSimilarBin(ctx context.Context, w http.ResponseWriter, u 
 
 // readBinBatchReq decodes a binary POST /shard/topk/batch body into
 // ss.breq, enforcing MaxBatch and the manifest's vertex range.
+//
+//lint:sanitized every decoded field is range-checked before ok returns true
 func (h *Handler) readBinBatchReq(w http.ResponseWriter, r *http.Request, ss *shardScratch) (lo, hi int, ok bool) {
 	buf := wire.GetBuf()
 	defer wire.PutBuf(buf)

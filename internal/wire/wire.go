@@ -229,6 +229,11 @@ func (f *Frame) Parse(data []byte) error {
 	}
 	nsec := int(binary.LittleEndian.Uint16(data[6:]))
 	rest := data[headerLen:body]
+	// Every declared section costs at least its header, so the count is
+	// bounded by the bytes present before the loop trusts it.
+	if int64(nsec)*secHdrLen > int64(len(rest)) {
+		return frameErr("%d sections declared, %d payload bytes present", nsec, len(rest))
+	}
 	for i := 0; i < nsec; i++ {
 		if len(rest) < secHdrLen {
 			return frameErr("section %d: %d bytes left, need %d-byte header", i, len(rest), secHdrLen)
@@ -417,11 +422,18 @@ func (f *Frame) BatchResp(dst *BatchResp) error {
 	}
 	dst.cands = appendCands(dst.cands[:0], cs)
 	dst.Frags = dst.Frags[:0]
-	off := 0
+	// The counts summed to cs.count above, so the fragments exactly tile
+	// dst.cands — but each slice bound is still checked locally against
+	// the rows remaining, so no single oversized count can reach a slice
+	// expression even if the sum check ever moves.
+	rows := dst.cands
 	for i := 0; i < n; i++ {
 		c := int(binary.LittleEndian.Uint32(cn.payload[i*4:]))
-		dst.Frags = append(dst.Frags, dst.cands[off:off+c:off+c])
-		off += c
+		if c > len(rows) {
+			return frameErr("batch fragments: count %d with %d rows left", c, len(rows))
+		}
+		dst.Frags = append(dst.Frags, rows[:c:c])
+		rows = rows[c:]
 	}
 	return nil
 }
