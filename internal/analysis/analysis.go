@@ -147,7 +147,11 @@ func RunPackage(pkg *Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnos
 		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
 	}
 	if opts.Audit {
-		audit := idx.stale(diags)
+		enabled := map[string]bool{"lint": true}
+		for _, a := range analyzers {
+			enabled[a.Name] = true
+		}
+		audit := idx.stale(diags, enabled)
 		for i := range audit {
 			a := &audit[i]
 			a.File, a.Line, a.Col = a.Pos.Filename, a.Pos.Line, a.Pos.Column

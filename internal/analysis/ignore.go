@@ -148,10 +148,17 @@ func (pd placedDirective) covers(rule string, d Diagnostic) bool {
 // violation that no longer exists and hides the next real one added on
 // that line. Reported under the pseudo-rule "lint", same as malformed
 // directives.
-func (idx *ignoreIndex) stale(raw []Diagnostic) []Diagnostic {
+//
+// Only directive rules present in enabled (the analyzers that actually
+// ran) are judged: under a -rules subset the other rules produced no raw
+// findings by construction, so their directives would all read as rot.
+func (idx *ignoreIndex) stale(raw []Diagnostic, enabled map[string]bool) []Diagnostic {
 	var out []Diagnostic
 	for _, pd := range idx.directives {
 		for _, rule := range pd.Rules {
+			if !enabled[rule] {
+				continue
+			}
 			live := false
 			for _, d := range raw {
 				if pd.covers(rule, d) {

@@ -60,6 +60,24 @@ func TestAuditStaleDirectives(t *testing.T) {
 	}
 }
 
+// TestAuditScopedToEnabledRules checks that audit with a rule subset only
+// judges directives for rules that ran: the stale file-wide seedmix
+// directive must not be reported when seedmix was not among the
+// analyzers, while the genuinely stale norand directive still is.
+func TestAuditScopedToEnabledRules(t *testing.T) {
+	pkg := loadFixture(t, "staleignore")
+	diags, err := RunPackage(pkg, []*Analyzer{NoRand}, RunOptions{Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d audit diagnostics, want only the stale norand directive: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "norand") {
+		t.Errorf("diagnostic should be the stale line norand directive: %v", diags[0])
+	}
+}
+
 // TestAuditQuietWhenLive checks that audit mode returns nothing for a file
 // whose only directive still suppresses a live finding.
 func TestAuditQuietWhenLive(t *testing.T) {

@@ -140,6 +140,20 @@ func badJoin(b []byte, strict bool) []byte {
 	return make([]byte, n) // want "wire-tainted n reaches a make size"
 }
 
+// badJoinElse mirrors badJoin with the guard in the else branch, so the
+// sanitized path reaches the join before the tainted one — the merge
+// must still let tainted win regardless of arrival order.
+func badJoinElse(b []byte, strict bool) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	if strict {
+	} else {
+		if n > maxFrame {
+			return nil
+		}
+	}
+	return make([]byte, n) // want "wire-tainted n reaches a make size"
+}
+
 // --- re-tainting after a guard discards the sanitization ---
 
 func badRefresh(b []byte) []byte {

@@ -52,12 +52,14 @@ func runWireTaint(pass *Pass) error {
 
 // taintMark is a key's per-path status. Absent means never tainted;
 // sanitized overrides a tainted dot-prefix (the guard mentioned the
-// parent).
+// parent). Numeric order is the may-join lattice order — tainted is the
+// top, so merge's raise() can never let a sanitized mark shadow a
+// tainted one.
 type taintMark uint8
 
 const (
-	markTainted taintMark = iota + 1
-	markSanitized
+	markSanitized taintMark = iota + 1
+	markTainted
 )
 
 // taintFlowState maps exprKeys to their marks. Effective status of a
@@ -123,9 +125,12 @@ func (st taintFlowState) clone() taintFlowState {
 }
 
 // merge joins src into dst (may-taint): tainted beats sanitized beats
-// absent, except that a sanitized mark cannot survive a path where the
-// key is effectively tainted through a prefix. Marks only ever go up,
-// so block-entry states grow monotonically and the worklist terminates.
+// absent — the numeric taintMark order — except that a sanitized mark
+// additionally cannot survive a join where the other path has the key
+// effectively tainted through a dot-prefix (eff would let the direct
+// sanitized mark shadow the prefix taint, so those keys are promoted to
+// tainted explicitly). Marks only ever go up, so block-entry states
+// grow monotonically and the worklist terminates.
 func (dst taintFlowState) merge(src taintFlowState) bool {
 	changed := false
 	raise := func(k string, m taintMark) {
